@@ -1,0 +1,71 @@
+"""Performance microbenchmarks of the simulator itself (pytest-benchmark).
+
+These are conventional timing benchmarks (multiple rounds) covering the hot
+paths of the library: bit-level popcount/toggle kernels, pattern generation,
+switching-activity estimation, and a full harness run.  They guard against
+regressions that would make the paper-scale (2048^2) reproduction
+impractically slow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity.engine import activity_from_matrices
+from repro.activity.sampler import SamplingConfig
+from repro.dtypes import get_dtype
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_experiment
+from repro.patterns.library import build_pattern
+from repro.telemetry.sampler import TelemetryConfig
+from repro.util.bits import popcount, toggle_fraction_along_axis
+from repro.util.rng import derive_rng
+
+SIZE = 1024
+
+
+def _random_words(size):
+    rng = derive_rng(5, "perf_words", size)
+    return rng.integers(0, 1 << 16, size=(size, size), dtype=np.uint64).astype(np.uint16)
+
+
+def bench_popcount_1m_words(benchmark):
+    words = _random_words(SIZE)
+    counts = benchmark(popcount, words)
+    assert counts.shape == words.shape
+
+
+def bench_stream_toggle_1m_words(benchmark):
+    words = _random_words(SIZE)
+    fraction = benchmark(toggle_fraction_along_axis, words, 1)
+    assert 0.4 < fraction < 0.6
+
+
+def bench_pattern_generation_sorted_rows(benchmark):
+    pattern = build_pattern("sorted_rows", "fp16_t", fraction=1.0)
+    rng = derive_rng(6, "perf_pattern")
+    values = benchmark(pattern.generate, (SIZE, SIZE), get_dtype("fp16_t"), rng)
+    assert values.shape == (SIZE, SIZE)
+
+
+def bench_activity_estimation_1024(benchmark):
+    rng = derive_rng(7, "perf_activity")
+    a = rng.normal(0, 210, size=(SIZE, SIZE))
+    b = rng.normal(0, 210, size=(SIZE, SIZE))
+    report = benchmark(
+        activity_from_matrices, a, b, "fp16_t", True, SamplingConfig(output_samples=128)
+    )
+    assert 0.0 < report.operand_activity <= 1.2
+
+
+def bench_full_experiment_512(benchmark):
+    config = ExperimentConfig(
+        pattern_family="gaussian",
+        dtype="fp16_t",
+        matrix_size=512,
+        seeds=1,
+        telemetry=TelemetryConfig(noise_std_watts=0.0, drift_watts=0.0),
+        include_process_variation=False,
+    )
+    result = benchmark(run_experiment, config)
+    assert result.mean_power_watts > 50.0

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""LLM inference power: estimating and reducing the power of transformer GEMMs.
+
+The paper motivates its study with large language models, whose GPU time is
+dominated by GEMMs over learned weight matrices.  This example builds a
+small transformer block's worth of projection GEMMs with realistic weight
+statistics, estimates per-layer power with the input-dependent power model,
+and then applies the paper's §V proposals through the power-aware compiler:
+
+* permutation-invariant reordering of output neurons (exact), and
+* weight mean-shifting / magnitude pruning on layers marked as tolerant.
+
+Run with:  python examples/llm_inference_power.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimize.compiler import GemmOp, Pipeline, PowerAwareCompiler
+from repro.util.rng import derive_rng
+from repro.util.tables import format_table
+
+HIDDEN = 1024          # model width (kept modest so the example runs in seconds)
+BATCH_TOKENS = 512     # tokens per forward pass
+GPU = "a100"
+DTYPE = "fp16_t"
+
+
+def build_transformer_block() -> Pipeline:
+    """One attention + MLP block as a pipeline of GEMMs (weights stored (out, in))."""
+    rng = derive_rng(2024, "llm_example")
+    # Activations after layer norm: roughly unit variance.
+    activations = rng.normal(0.0, 1.0, size=(BATCH_TOKENS, HIDDEN))
+    # Trained weights are small and roughly Gaussian (std ~ 1/sqrt(fan_in)).
+    std = 1.0 / np.sqrt(HIDDEN)
+
+    def weights(out_features: int) -> np.ndarray:
+        return rng.normal(0.0, std, size=(out_features, HIDDEN))
+
+    pipeline = Pipeline()
+    pipeline.add(
+        GemmOp("attn.qkv_proj", activations, weights(3 * HIDDEN) [: HIDDEN, :],
+               dtype=DTYPE, allowed_transforms=("permute_columns",))
+    )
+    pipeline.add(
+        GemmOp("attn.out_proj", activations, weights(HIDDEN),
+               dtype=DTYPE, allowed_transforms=("permute_columns",))
+    )
+    pipeline.add(
+        GemmOp("mlp.up_proj", activations, weights(HIDDEN),
+               dtype=DTYPE, allowed_transforms=("permute_columns", "shift_mean"))
+    )
+    pipeline.add(
+        GemmOp("mlp.down_proj", activations, weights(HIDDEN),
+               dtype=DTYPE, allowed_transforms=("permute_columns", "prune"), prune_sparsity=0.3)
+    )
+    return pipeline
+
+
+def main() -> None:
+    print(f"Transformer block on a simulated {GPU.upper()} ({DTYPE}, {BATCH_TOKENS} tokens, width {HIDDEN})\n")
+    pipeline = build_transformer_block()
+    compiler = PowerAwareCompiler(GPU)
+    report = compiler.compile(pipeline)
+
+    rows = []
+    for op in report.ops:
+        rows.append(
+            [
+                op.name,
+                op.baseline.power_watts,
+                op.optimized.power_watts,
+                op.power_reduction_watts,
+                op.transform or "(none)",
+                "exact" if op.exact else "approximate",
+            ]
+        )
+    print(
+        format_table(
+            ["layer", "baseline_W", "optimized_W", "saved_W", "transform", "semantics"],
+            rows,
+            precision=2,
+            title="Per-layer power before/after power-aware compilation",
+        )
+    )
+
+    print(
+        f"\nPipeline energy per forward pass: {report.baseline_energy_j * 1e3:.2f} mJ -> "
+        f"{report.optimized_energy_j * 1e3:.2f} mJ "
+        f"({report.energy_reduction_fraction:.1%} saved)."
+    )
+    print(
+        "Permutation reordering is computation-preserving (outputs are un-permuted "
+        "downstream); mean-shifting and pruning are opt-in approximations, mirroring "
+        "the paper's discussion of accuracy trade-offs."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Power-aware sparsity design: trading approximation error for watts.
+
+The paper's §V proposes sparsity designs that optimize power alongside the
+usual performance/accuracy/memory trade-offs.  This example prunes a weight
+matrix at several sparsity levels — both unstructured magnitude pruning and
+the hardware-friendly 2:4 structured pattern — and reports the predicted
+GEMM power next to the introduced approximation error, plus the interaction
+with sorting that produces the paper's counter-intuitive T13 result.
+
+Run with:  python examples/power_aware_sparsity.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.optimize.estimation import quick_power_estimate
+from repro.optimize.sparsity_design import design_sparsity
+from repro.patterns.placement import sort_rows
+from repro.util.rng import derive_rng
+from repro.util.tables import format_series_chart, format_table
+
+SIZE = 1024
+GPU = "a100"
+DTYPE = "fp16_t"
+
+
+def main() -> None:
+    rng = derive_rng(7, "sparsity_example")
+    activations = rng.normal(0.0, 1.0, size=(SIZE, SIZE))
+    weights = rng.normal(0.0, 0.02, size=(SIZE, SIZE))
+
+    baseline = quick_power_estimate(activations, weights, dtype=DTYPE, gpu=GPU)
+    print(f"Baseline dense GEMM on simulated {GPU.upper()}: {baseline.power_watts:.1f} W\n")
+
+    rows = []
+    for sparsity in (0.25, 0.5, 0.75, 0.9):
+        design = design_sparsity(activations, weights, sparsity=sparsity, dtype=DTYPE, gpu=GPU)
+        rows.append(
+            ["unstructured", f"{sparsity:.0%}", design.pruned.power_watts,
+             design.power_reduction_watts, design.relative_error]
+        )
+    structured = design_sparsity(activations, weights, sparsity=0.5, structured=(2, 4), dtype=DTYPE, gpu=GPU)
+    rows.append(
+        ["2:4 structured", "50%", structured.pruned.power_watts,
+         structured.power_reduction_watts, structured.relative_error]
+    )
+    print(
+        format_table(
+            ["pattern", "sparsity", "power_W", "saved_W", "relative_error"],
+            rows,
+            precision=3,
+            title="Power vs. approximation error for pruned weights (T12)",
+        )
+    )
+
+    # The T13 interaction: random zeros injected into *sorted* weights first
+    # increase power before the zeros dominate.
+    sorted_weights = sort_rows(weights, 1.0)
+    sparsities = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0]
+    powers = []
+    for sparsity in sparsities:
+        mask = rng.random(sorted_weights.shape) >= sparsity
+        pruned = np.where(mask, sorted_weights, 0.0)
+        powers.append(quick_power_estimate(activations, pruned, dtype=DTYPE, gpu=GPU).power_watts)
+    print()
+    print(
+        format_series_chart(
+            sparsities,
+            {"power_W": powers},
+            title="Sparsity applied to SORTED weights (T13): power peaks at moderate sparsity",
+        )
+    )
+    peak = sparsities[int(np.argmax(powers))]
+    print(
+        f"\nPower peaks at ~{peak:.0%} sparsity ({max(powers):.1f} W) before falling to "
+        f"{powers[-1]:.1f} W when fully sparse — sorting and sparsity do not compound."
+    )
+
+
+if __name__ == "__main__":
+    main()

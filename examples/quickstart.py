@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: how input data changes GPU power for the same GEMM.
+
+Runs the same 1024x1024 FP16 tensor-core GEMM on a simulated A100 with four
+different input patterns and prints the measured power, runtime and energy.
+The shapes, the kernel and the datatype never change — only the values do.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis.reporting import render_experiment_table
+
+MATRIX_SIZE = 1024
+GPU = "a100"
+DTYPE = "fp16_t"
+
+#: (label, pattern family, pattern parameters)
+WORKLOADS = [
+    ("Gaussian random (paper baseline)", "gaussian", {}),
+    ("Single repeated value", "constant_random", {}),
+    ("Fully sorted values", "sorted_rows", {"fraction": 1.0}),
+    ("50% random sparsity", "sparsity", {"sparsity": 0.5}),
+    ("Zeroed low mantissa bits", "zero_lsb", {"fraction": 0.5}),
+]
+
+
+def main() -> None:
+    print(f"Simulated {GPU.upper()} | {MATRIX_SIZE}x{MATRIX_SIZE} GEMM | dtype {DTYPE}")
+    print("Measuring each input pattern (2 seeds, DCGM-style 100 ms sampling)...\n")
+
+    results = []
+    for label, family, params in WORKLOADS:
+        result = repro.measure_gemm_power(
+            pattern=family,
+            pattern_params=params,
+            dtype=DTYPE,
+            gpu=GPU,
+            matrix_size=MATRIX_SIZE,
+            seeds=2,
+        )
+        result.config["label"] = label
+        results.append(result)
+
+    print(render_experiment_table(results, title="Input-dependent GEMM power"))
+
+    baseline = results[0].mean_power_watts
+    lowest = min(results, key=lambda r: r.mean_power_watts)
+    swing = (baseline - lowest.mean_power_watts) / baseline
+    print(
+        f"\nSame kernel, same shapes: input data alone moved power by "
+        f"{swing:.1%} (from {baseline:.1f} W down to {lowest.mean_power_watts:.1f} W "
+        f"for '{lowest.config['label']}')."
+    )
+    print("Iteration runtime stayed constant across patterns — only power changed.")
+
+
+if __name__ == "__main__":
+    main()

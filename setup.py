@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without the ``wheel`` package.
+
+All project metadata lives in ``pyproject.toml``; this file only enables the
+legacy editable install path (``pip install -e . --no-use-pep517``) used in
+offline environments.
+"""
+
+from setuptools import setup
+
+setup()

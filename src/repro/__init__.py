@@ -1,0 +1,100 @@
+"""repro: reproduction of "Input-Dependent Power Usage in GPUs" (SC 2024).
+
+The package models how the *values and placement* of GEMM input data change
+GPU power draw, reproduces the paper's measurement methodology end to end on
+a simulated GPU substrate, and implements the power-aware optimizations the
+paper proposes as future work.
+
+Quick start::
+
+    import repro
+
+    result = repro.measure_gemm_power(
+        pattern="sorted_rows", pattern_params={"fraction": 1.0},
+        dtype="fp16_t", gpu="a100", matrix_size=512,
+    )
+    print(result.mean_power_watts)
+
+See ``examples/`` for complete scripts and ``benchmarks/`` for the per-figure
+reproduction harness.
+"""
+
+from __future__ import annotations
+
+from repro.activity import ActivityReport, SamplingConfig, estimate_activity
+from repro.dtypes import PAPER_DTYPES, get_dtype, list_dtypes
+from repro.errors import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    ExperimentResult,
+    FigureResult,
+    SweepResult,
+    run_experiment,
+    run_sweep,
+)
+from repro.gpu import Device, GPUSpec, get_gpu_spec, list_gpus
+from repro.kernels import GemmOperands, GemmProblem, reference_gemm
+from repro.patterns import build_pattern, list_patterns
+from repro.power import PowerModel
+from repro.runtime import RuntimeModel
+from repro.telemetry import PowerTrace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "ActivityReport",
+    "SamplingConfig",
+    "estimate_activity",
+    "get_dtype",
+    "list_dtypes",
+    "PAPER_DTYPES",
+    "Device",
+    "GPUSpec",
+    "get_gpu_spec",
+    "list_gpus",
+    "GemmProblem",
+    "GemmOperands",
+    "reference_gemm",
+    "build_pattern",
+    "list_patterns",
+    "PowerModel",
+    "RuntimeModel",
+    "PowerTrace",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "SweepResult",
+    "FigureResult",
+    "run_experiment",
+    "run_sweep",
+    "measure_gemm_power",
+]
+
+
+def measure_gemm_power(
+    pattern: str = "gaussian",
+    pattern_params: dict | None = None,
+    dtype: str = "fp16_t",
+    gpu: str = "a100",
+    matrix_size: int = 512,
+    seeds: int = 3,
+    **overrides: object,
+) -> ExperimentResult:
+    """Measure (simulate) GEMM power for one input pattern.
+
+    This is the one-call public entry point: it builds an
+    :class:`~repro.experiments.config.ExperimentConfig`, runs the
+    measurement harness, and returns the aggregated result.
+    """
+    config = ExperimentConfig(
+        pattern_family=pattern,
+        pattern_params=pattern_params or {},
+        dtype=dtype,
+        gpu=gpu,
+        matrix_size=matrix_size,
+        seeds=seeds,
+    )
+    if overrides:
+        config = config.with_overrides(**overrides)
+    return run_experiment(config)

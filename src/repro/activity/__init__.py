@@ -1,0 +1,28 @@
+"""Bit-level switching-activity estimation for GEMM kernels.
+
+This package turns concrete GEMM operands into the activity factors the
+power model consumes: how often bits toggle on the operand delivery path,
+how many partial products the multiplier array generates, how much the
+product/accumulator datapath switches, and how busy the memory interface
+bit-lines are.  All estimators are vectorized NumPy bit manipulation; the
+only non-exact quantity is the accumulator/product stream, which is
+computed on a random sample of output positions.
+"""
+
+from repro.activity.accumulator import estimate_datapath_activity
+from repro.activity.engine import estimate_activity
+from repro.activity.memory_traffic import estimate_memory_activity
+from repro.activity.multiplier import estimate_multiplier_activity
+from repro.activity.operand_bus import estimate_operand_activity
+from repro.activity.report import ActivityReport
+from repro.activity.sampler import SamplingConfig
+
+__all__ = [
+    "ActivityReport",
+    "SamplingConfig",
+    "estimate_activity",
+    "estimate_operand_activity",
+    "estimate_multiplier_activity",
+    "estimate_datapath_activity",
+    "estimate_memory_activity",
+]

@@ -1,0 +1,93 @@
+"""Top-level switching-activity engine.
+
+``estimate_activity`` combines the per-component estimators into a single
+:class:`~repro.activity.report.ActivityReport` for one GEMM invocation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.activity.accumulator import estimate_datapath_activity
+from repro.activity.memory_traffic import estimate_memory_activity
+from repro.activity.multiplier import estimate_multiplier_activity
+from repro.activity.operand_bus import estimate_operand_activity
+from repro.activity.report import ActivityReport
+from repro.activity.sampler import SamplingConfig
+from repro.errors import ActivityError
+from repro.kernels.gemm import GemmOperands, GemmProblem
+from repro.kernels.schedule import OperandStreams, build_streams
+
+__all__ = ["estimate_activity", "activity_from_matrices"]
+
+
+def estimate_activity(
+    operands: "GemmOperands | OperandStreams",
+    sampling: SamplingConfig | None = None,
+    seed: int = 0,
+) -> ActivityReport:
+    """Estimate the switching activity of one GEMM invocation.
+
+    Parameters
+    ----------
+    operands:
+        Either concrete :class:`~repro.kernels.gemm.GemmOperands` or
+        pre-built :class:`~repro.kernels.schedule.OperandStreams`.
+    sampling:
+        Sampling configuration for the product/accumulator estimator.
+    seed:
+        Extra seed mixed into the sampling RNG so repeated invocations with
+        different seeds sample different output positions.
+    """
+    if isinstance(operands, GemmOperands):
+        streams = build_streams(operands)
+    elif isinstance(operands, OperandStreams):
+        streams = operands
+    else:
+        raise ActivityError(
+            f"estimate_activity expects GemmOperands or OperandStreams, got {type(operands).__name__}"
+        )
+    sampling = sampling or SamplingConfig()
+
+    operand = estimate_operand_activity(streams)
+    multiplier = estimate_multiplier_activity(streams)
+    datapath = estimate_datapath_activity(streams, sampling, seed=seed)
+    memory = estimate_memory_activity(streams)
+
+    return ActivityReport(
+        operand_activity=operand.activity,
+        multiplier_activity=multiplier.activity,
+        datapath_activity=datapath.activity,
+        memory_activity=memory.activity,
+        operand_toggle_a=operand.toggle_a,
+        operand_toggle_b=operand.toggle_b,
+        multiplier_hw_product=multiplier.hw_product,
+        zero_mac_fraction=multiplier.zero_mac_fraction,
+        product_toggle=datapath.product_toggle,
+        accumulator_toggle=datapath.accumulator_toggle,
+        memory_toggle=memory.toggle,
+        a_hamming_fraction=multiplier.a_hamming_fraction,
+        b_hamming_fraction=multiplier.b_hamming_fraction,
+        bit_alignment=datapath.bit_alignment,
+        dtype=streams.dtype.name,
+        shape=(streams.n, streams.m, streams.k),
+        output_samples=datapath.output_samples,
+    )
+
+
+def activity_from_matrices(
+    a: np.ndarray,
+    b_stored: np.ndarray,
+    dtype: str = "fp16_t",
+    transpose_b: bool = True,
+    sampling: SamplingConfig | None = None,
+    seed: int = 0,
+) -> ActivityReport:
+    """Convenience wrapper: estimate activity directly from two matrices."""
+    a = np.asarray(a, dtype=np.float64)
+    b_stored = np.asarray(b_stored, dtype=np.float64)
+    n, k = a.shape
+    m = b_stored.shape[0] if transpose_b else b_stored.shape[1]
+    problem = GemmProblem(n=n, m=m, k=k, dtype=dtype, transpose_b=transpose_b)
+    operands = GemmOperands(problem=problem, a=a, b_stored=b_stored)
+    return estimate_activity(operands, sampling=sampling, seed=seed)

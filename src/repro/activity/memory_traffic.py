@@ -1,0 +1,40 @@
+"""Memory-interface activity.
+
+DRAM and L2 move operands in storage order (row-major of the stored
+matrices); the bus and sense-amplifier energy depends on how many bit-lines
+change between consecutively transferred words.  Toggle-aware compression
+work (Pekhimenko et al., HPCA'16) documents exactly this effect; the paper
+cites it as a hypothesized mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity.toggles import RANDOM_TOGGLE_FRACTION, stream_toggle_fraction
+from repro.kernels.schedule import OperandStreams
+
+__all__ = ["MemoryActivity", "estimate_memory_activity"]
+
+
+@dataclass(frozen=True)
+class MemoryActivity:
+    """Raw and normalized memory-interface activity."""
+
+    toggle_a: float
+    toggle_b: float
+    toggle: float
+    activity: float
+
+
+def estimate_memory_activity(streams: OperandStreams) -> MemoryActivity:
+    """Estimate memory-bus switching activity from storage-order adjacency."""
+    # A is stored row-major: consecutive words on the bus are row neighbours.
+    toggle_a = stream_toggle_fraction(streams.a_words, axis=1)
+    # B uses its *stored* layout (before any logical transpose).
+    toggle_b = stream_toggle_fraction(streams.b_stored_words, axis=1)
+    toggle = 0.5 * (toggle_a + toggle_b)
+    activity = toggle / RANDOM_TOGGLE_FRACTION
+    return MemoryActivity(
+        toggle_a=toggle_a, toggle_b=toggle_b, toggle=toggle, activity=activity
+    )

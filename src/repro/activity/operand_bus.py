@@ -1,0 +1,39 @@
+"""Operand-delivery activity.
+
+Models the shared-memory → register → multiplier-latch path: for every
+output row the A operand latch sees ``A[i, 0], A[i, 1], ...`` (toggles along
+rows of A), and for every output column the B latch sees ``B[0, j],
+B[1, j], ...`` (toggles along columns of B as consumed).  Identical or
+bit-similar successive operands barely toggle this path; that is the
+mechanism behind the paper's value-similarity, small-value-set and sorting
+results (T3, T4, T8–T11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.activity.toggles import RANDOM_TOGGLE_FRACTION, stream_toggle_fraction
+from repro.kernels.schedule import OperandStreams
+
+__all__ = ["OperandActivity", "estimate_operand_activity"]
+
+
+@dataclass(frozen=True)
+class OperandActivity:
+    """Raw and normalized operand-delivery activity."""
+
+    toggle_a: float
+    toggle_b: float
+    activity: float
+
+
+def estimate_operand_activity(streams: OperandStreams) -> OperandActivity:
+    """Estimate operand-delivery switching activity for one GEMM."""
+    # A operands stream along the reduction dimension, i.e. along each row.
+    toggle_a = stream_toggle_fraction(streams.a_words, axis=1)
+    # B operands (as consumed, shape (K, M)) stream along the reduction
+    # dimension too, i.e. down each column.
+    toggle_b = stream_toggle_fraction(streams.b_words, axis=0)
+    activity = 0.5 * (toggle_a + toggle_b) / RANDOM_TOGGLE_FRACTION
+    return OperandActivity(toggle_a=toggle_a, toggle_b=toggle_b, activity=activity)

@@ -1,0 +1,20 @@
+"""Analysis: bit alignment, Hamming weight, correlations, takeaway checks, reports."""
+
+from repro.analysis.alignment import matrix_bit_alignment, pairwise_alignment_profile
+from repro.analysis.correlation import CorrelationSummary, correlate_power_with_bit_metrics
+from repro.analysis.hamming import hamming_profile, matrix_hamming_fraction
+from repro.analysis.reporting import render_experiment_table, render_figure_markdown
+from repro.analysis.takeaways import TakeawayCheck, evaluate_takeaways
+
+__all__ = [
+    "matrix_bit_alignment",
+    "pairwise_alignment_profile",
+    "matrix_hamming_fraction",
+    "hamming_profile",
+    "CorrelationSummary",
+    "correlate_power_with_bit_metrics",
+    "TakeawayCheck",
+    "evaluate_takeaways",
+    "render_experiment_table",
+    "render_figure_markdown",
+]

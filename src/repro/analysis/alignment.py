@@ -1,0 +1,53 @@
+"""Bit-alignment metrics (Figure 8).
+
+The paper defines bit alignment between two values as 1 when every bit
+matches and 0 when every bit differs, and reports the average alignment
+between the A and B matrices of each experiment configuration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.registry import get_dtype
+from repro.errors import AnalysisError
+from repro.util.bits import bit_alignment, hamming_distance
+
+__all__ = ["matrix_bit_alignment", "pairwise_alignment_profile"]
+
+
+def matrix_bit_alignment(a: np.ndarray, b: np.ndarray, dtype: str) -> float:
+    """Mean bit alignment between elementwise-paired entries of A and B.
+
+    Both matrices must have the same shape; this matches the paper's
+    matrix-level alignment metric (A and B share the same pattern, so the
+    elementwise pairing is the natural correspondence).
+    """
+    spec = get_dtype(dtype)
+    a_arr = np.asarray(a, dtype=np.float64)
+    b_arr = np.asarray(b, dtype=np.float64)
+    if a_arr.shape != b_arr.shape:
+        raise AnalysisError(
+            f"alignment requires equal shapes, got {a_arr.shape} vs {b_arr.shape}"
+        )
+    return bit_alignment(spec.encode(a_arr), spec.encode(b_arr))
+
+
+def pairwise_alignment_profile(a: np.ndarray, b: np.ndarray, dtype: str) -> dict[str, float]:
+    """Distributional summary of per-element bit alignment between A and B."""
+    spec = get_dtype(dtype)
+    a_words = spec.encode(np.asarray(a, dtype=np.float64))
+    b_words = spec.encode(np.asarray(b, dtype=np.float64))
+    if a_words.shape != b_words.shape:
+        raise AnalysisError(
+            f"alignment requires equal shapes, got {a_words.shape} vs {b_words.shape}"
+        )
+    per_element = 1.0 - hamming_distance(a_words, b_words) / spec.bits
+    return {
+        "mean": float(per_element.mean()),
+        "std": float(per_element.std()),
+        "min": float(per_element.min()),
+        "max": float(per_element.max()),
+        "p10": float(np.percentile(per_element, 10)),
+        "p90": float(np.percentile(per_element, 90)),
+    }

@@ -1,0 +1,88 @@
+"""Correlation analysis between bit-level metrics and power (Figure 8).
+
+Each experiment configuration contributes one point: its average power, the
+average bit alignment of the operand pairs it multiplies, and the average
+Hamming weight of its A matrix.  The paper reports that — across floating
+point datatypes — higher alignment and lower Hamming weight loosely
+correlate with lower power, while noting the trend is "not entirely
+consistent".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import AnalysisError
+from repro.experiments.results import ExperimentResult
+from repro.util.stats import pearson_correlation, spearman_correlation
+
+__all__ = ["CorrelationSummary", "correlate_power_with_bit_metrics", "scatter_points"]
+
+
+@dataclass(frozen=True)
+class CorrelationSummary:
+    """Correlations between power and the two Figure-8 metrics for one datatype."""
+
+    dtype: str
+    num_points: int
+    alignment_pearson: float
+    alignment_spearman: float
+    hamming_pearson: float
+    hamming_spearman: float
+
+    def as_dict(self) -> dict[str, float | str | int]:
+        return {
+            "dtype": self.dtype,
+            "num_points": self.num_points,
+            "alignment_pearson": self.alignment_pearson,
+            "alignment_spearman": self.alignment_spearman,
+            "hamming_pearson": self.hamming_pearson,
+            "hamming_spearman": self.hamming_spearman,
+        }
+
+
+def scatter_points(
+    results: Iterable[ExperimentResult],
+) -> list[dict[str, float | str]]:
+    """Extract (dtype, power, alignment, hamming) scatter points from results."""
+    points = []
+    for result in results:
+        points.append(
+            {
+                "dtype": str(result.config.get("dtype", "unknown")),
+                "label": result.label,
+                "power_watts": result.mean_power_watts,
+                "bit_alignment": result.mean_bit_alignment,
+                "hamming_fraction": result.mean_hamming_fraction,
+            }
+        )
+    return points
+
+
+def correlate_power_with_bit_metrics(
+    results: Sequence[ExperimentResult],
+) -> list[CorrelationSummary]:
+    """Per-datatype correlations between power and alignment / Hamming weight."""
+    if not results:
+        raise AnalysisError("correlation analysis needs at least one result")
+    by_dtype: dict[str, list[ExperimentResult]] = {}
+    for result in results:
+        by_dtype.setdefault(str(result.config.get("dtype", "unknown")), []).append(result)
+
+    summaries = []
+    for dtype, group in sorted(by_dtype.items()):
+        powers = [r.mean_power_watts for r in group]
+        alignments = [r.mean_bit_alignment for r in group]
+        hammings = [r.mean_hamming_fraction for r in group]
+        summaries.append(
+            CorrelationSummary(
+                dtype=dtype,
+                num_points=len(group),
+                alignment_pearson=pearson_correlation(alignments, powers),
+                alignment_spearman=spearman_correlation(alignments, powers),
+                hamming_pearson=pearson_correlation(hammings, powers),
+                hamming_spearman=spearman_correlation(hammings, powers),
+            )
+        )
+    return summaries

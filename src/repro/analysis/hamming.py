@@ -1,0 +1,34 @@
+"""Hamming-weight metrics (Figure 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.registry import get_dtype
+from repro.util.bits import popcount
+
+__all__ = ["matrix_hamming_fraction", "hamming_profile"]
+
+
+def matrix_hamming_fraction(values: np.ndarray, dtype: str) -> float:
+    """Mean fraction of set bits per element of a matrix in a given datatype."""
+    spec = get_dtype(dtype)
+    words = spec.encode(np.asarray(values, dtype=np.float64))
+    if words.size == 0:
+        return 0.0
+    return float(popcount(words).mean()) / spec.bits
+
+
+def hamming_profile(values: np.ndarray, dtype: str) -> dict[str, float]:
+    """Distributional summary of per-element Hamming weight (as bit counts)."""
+    spec = get_dtype(dtype)
+    words = spec.encode(np.asarray(values, dtype=np.float64))
+    weights = popcount(words).astype(np.float64)
+    return {
+        "mean_bits": float(weights.mean()),
+        "std_bits": float(weights.std()),
+        "min_bits": float(weights.min()),
+        "max_bits": float(weights.max()),
+        "mean_fraction": float(weights.mean()) / spec.bits,
+        "width_bits": float(spec.bits),
+    }

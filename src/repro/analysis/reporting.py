@@ -1,0 +1,72 @@
+"""Text/markdown rendering of experiment results and takeaway checks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.analysis.takeaways import TakeawayCheck
+from repro.experiments.results import ExperimentResult, FigureResult
+from repro.util.tables import format_table
+
+__all__ = [
+    "render_experiment_table",
+    "render_takeaway_report",
+    "render_figure_markdown",
+]
+
+
+def render_experiment_table(results: Iterable[ExperimentResult], title: str = "") -> str:
+    """Render a comparison table of experiment results."""
+    headers = ["label", "power_W", "std_W", "runtime_us", "energy_mJ", "activity", "alignment", "hamming"]
+    rows = []
+    for result in results:
+        rows.append(
+            [
+                result.label or str(result.config.get("pattern_family", "")),
+                result.mean_power_watts,
+                result.power_std_watts,
+                result.mean_iteration_time_s * 1e6,
+                result.mean_iteration_energy_j * 1e3,
+                result.mean_activity_factor,
+                result.mean_bit_alignment,
+                result.mean_hamming_fraction,
+            ]
+        )
+    return format_table(headers, rows, precision=3, title=title)
+
+
+def render_takeaway_report(checks: Sequence[TakeawayCheck], title: str = "Takeaway checks") -> str:
+    """Render a pass/fail table for takeaway checks."""
+    headers = ["takeaway", "status", "detail"]
+    rows = [[c.takeaway, "PASS" if c.passed else "FAIL", c.detail] for c in checks]
+    passed = sum(1 for c in checks if c.passed)
+    footer = f"{passed}/{len(checks)} takeaways reproduced"
+    return format_table(headers, rows, title=title) + "\n" + footer
+
+
+def render_figure_markdown(
+    figure: FigureResult, paper_expectation: str = "", measured_summary: str = ""
+) -> str:
+    """Render one figure's reproduction as a markdown section (for EXPERIMENTS.md)."""
+    lines = [f"### {figure.name}", "", figure.description, ""]
+    if paper_expectation:
+        lines += [f"**Paper:** {paper_expectation}", ""]
+    if measured_summary:
+        lines += [f"**Measured:** {measured_summary}", ""]
+    for key, sweep in figure.panels.items():
+        lines.append(f"**Panel {key}** — `{sweep.label}`")
+        lines.append("")
+        lines.append("| " + sweep.parameter + " | power (W) | runtime (us) | energy (mJ) |")
+        lines.append("|---|---|---|---|")
+        for value, result in zip(sweep.values, sweep.results):
+            lines.append(
+                f"| {value} | {result.mean_power_watts:.1f} | "
+                f"{result.mean_iteration_time_s * 1e6:.1f} | "
+                f"{result.mean_iteration_energy_j * 1e3:.2f} |"
+            )
+        lines.append("")
+    if figure.notes:
+        lines.append("Notes:")
+        lines.extend(f"- {note}" for note in figure.notes)
+        lines.append("")
+    return "\n".join(lines)

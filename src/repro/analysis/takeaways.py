@@ -1,0 +1,301 @@
+"""Automated checks of the paper's takeaways T1–T15.
+
+Each check inspects the relevant sweep(s) and verifies the *direction* (and
+where applicable the shape, e.g. the interior peak of T13) of the trend the
+paper reports.  Checks are deliberately tolerant about magnitudes: the
+reproduction targets trend fidelity, not absolute watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from repro.errors import AnalysisError
+from repro.experiments.results import SweepResult
+from repro.util.stats import spearman_correlation
+
+__all__ = ["TakeawayCheck", "evaluate_takeaways", "TAKEAWAY_STATEMENTS"]
+
+#: The paper's takeaway statements, verbatim (abbreviated).
+TAKEAWAY_STATEMENTS: dict[str, str] = {
+    "T1": "Input distribution standard deviation does not significantly impact power",
+    "T2": "Larger input value means can reduce power for FP datatypes",
+    "T3": "Inputs from a small set of unique values decrease power consumption",
+    "T4": "Input data with highly similar bits uses less power",
+    "T5": "As more least significant bits are randomized, power increases",
+    "T6": "As more of the most significant bits are randomized, power increases",
+    "T7": "FP16-T is the most power hungry data type",
+    "T8": "Sorting input values can decrease power consumption",
+    "T9": "Aligning sorted values decreases power even more than just sorting",
+    "T10": "Sorting values into columns can decrease power consumption",
+    "T11": "Intra-row sorting can decrease power, but to a lesser extent than sorting fully",
+    "T12": "Matrix sparsity decreases GEMM power",
+    "T13": "Sparsity applied to sorted matrices can actually increase power consumption",
+    "T14": "Zeroing least significant bits can reduce power",
+    "T15": "Zeroing most significant bits can reduce power",
+}
+
+
+@dataclass(frozen=True)
+class TakeawayCheck:
+    """Outcome of checking one takeaway against reproduced data."""
+
+    takeaway: str
+    statement: str
+    passed: bool
+    detail: str
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "takeaway": self.takeaway,
+            "statement": self.statement,
+            "passed": self.passed,
+            "detail": self.detail,
+        }
+
+
+def _make(takeaway: str, passed: bool, detail: str) -> TakeawayCheck:
+    return TakeawayCheck(
+        takeaway=takeaway,
+        statement=TAKEAWAY_STATEMENTS[takeaway],
+        passed=bool(passed),
+        detail=detail,
+    )
+
+
+def _trend(sweep: SweepResult) -> float:
+    """Spearman correlation between the swept value and power."""
+    try:
+        xs = [float(v) for v in sweep.values]
+    except (TypeError, ValueError):
+        xs = list(range(len(sweep.values)))
+    return spearman_correlation(xs, sweep.powers())
+
+
+# --------------------------------------------------------------- T1 – T3
+
+
+def check_t1_std_insensitive(sweep: SweepResult, tolerance: float = 0.08) -> TakeawayCheck:
+    """T1: power swing over the std sweep stays within ``tolerance`` of max power."""
+    swing = sweep.power_range_fraction()
+    return _make("T1", swing <= tolerance, f"power swing {swing:.1%} (tolerance {tolerance:.0%})")
+
+
+def check_t2_mean_reduces_power(sweep: SweepResult) -> TakeawayCheck:
+    """T2: power at the largest mean is below power at mean 0 (FP datatypes)."""
+    powers = sweep.powers()
+    drop = powers[0] - powers[-1]
+    return _make(
+        "T2",
+        powers[-1] < powers[0],
+        f"power {powers[0]:.1f} W at mean={sweep.values[0]} vs "
+        f"{powers[-1]:.1f} W at mean={sweep.values[-1]} (drop {drop:.1f} W)",
+    )
+
+
+def check_t3_small_set_reduces_power(sweep: SweepResult) -> TakeawayCheck:
+    """T3: power increases with set size (so small sets use less power)."""
+    trend = _trend(sweep)
+    powers = sweep.powers()
+    return _make(
+        "T3",
+        powers[0] < powers[-1] and trend > 0,
+        f"power {powers[0]:.1f} W (set={sweep.values[0]}) < {powers[-1]:.1f} W "
+        f"(set={sweep.values[-1]}); spearman {trend:+.2f}",
+    )
+
+
+# --------------------------------------------------------------- T4 – T7
+
+
+def check_t4_similar_bits_use_less(sweep: SweepResult) -> TakeawayCheck:
+    """T4: power rises as more random bits are flipped away from a constant fill."""
+    powers = sweep.powers()
+    trend = _trend(sweep)
+    return _make(
+        "T4",
+        powers[0] < powers[-1] and trend > 0,
+        f"{powers[0]:.1f} W with identical bits vs {powers[-1]:.1f} W fully randomized; "
+        f"spearman {trend:+.2f}",
+    )
+
+
+def check_t5_lsb_randomization_increases(sweep: SweepResult) -> TakeawayCheck:
+    trend = _trend(sweep)
+    powers = sweep.powers()
+    return _make(
+        "T5", powers[-1] > powers[0] and trend > 0,
+        f"power rises {powers[0]:.1f} → {powers[-1]:.1f} W; spearman {trend:+.2f}"
+    )
+
+
+def check_t6_msb_randomization_increases(sweep: SweepResult) -> TakeawayCheck:
+    trend = _trend(sweep)
+    powers = sweep.powers()
+    return _make(
+        "T6", powers[-1] > powers[0] and trend > 0,
+        f"power rises {powers[0]:.1f} → {powers[-1]:.1f} W; spearman {trend:+.2f}"
+    )
+
+
+def check_t7_fp16t_most_power_hungry(power_by_dtype: Mapping[str, float]) -> TakeawayCheck:
+    """T7: FP16-T draws the most power among the compared datatypes."""
+    if "fp16_t" not in power_by_dtype:
+        raise AnalysisError("T7 check requires an 'fp16_t' entry")
+    ranked = sorted(power_by_dtype.items(), key=lambda kv: kv[1], reverse=True)
+    detail = ", ".join(f"{name}={watts:.1f}W" for name, watts in ranked)
+    return _make("T7", ranked[0][0] == "fp16_t", detail)
+
+
+# --------------------------------------------------------------- T8 – T11
+
+
+def _decreasing(sweep: SweepResult, takeaway: str) -> TakeawayCheck:
+    powers = sweep.powers()
+    trend = _trend(sweep)
+    return _make(
+        takeaway,
+        powers[-1] < powers[0] and trend < 0,
+        f"power falls {powers[0]:.1f} → {powers[-1]:.1f} W; spearman {trend:+.2f}",
+    )
+
+
+def check_t8_sorting_decreases(sweep: SweepResult) -> TakeawayCheck:
+    return _decreasing(sweep, "T8")
+
+
+def check_t9_aligned_sorting_better(
+    sorted_sweep: SweepResult, aligned_sweep: SweepResult, tolerance: float = 0.01
+) -> TakeawayCheck:
+    """T9: at full sorting, the aligned variant draws less power than the plain one.
+
+    ``tolerance`` allows the aligned variant to sit within a small relative
+    margin of the unaligned one, so the check stays robust to simulated
+    sensor noise at small benchmark matrix sizes.
+    """
+    plain = sorted_sweep.powers()[-1]
+    aligned = aligned_sweep.powers()[-1]
+    decreasing = aligned_sweep.powers()[-1] < aligned_sweep.powers()[0]
+    return _make(
+        "T9",
+        aligned <= plain * (1.0 + tolerance) and decreasing,
+        f"fully sorted: aligned {aligned:.1f} W vs unaligned {plain:.1f} W",
+    )
+
+
+def check_t10_column_sorting_decreases(sweep: SweepResult) -> TakeawayCheck:
+    return _decreasing(sweep, "T10")
+
+
+def check_t11_intra_row_lesser_effect(
+    full_sort_sweep: SweepResult, intra_row_sweep: SweepResult
+) -> TakeawayCheck:
+    """T11: intra-row sorting lowers power, but by less than full sorting."""
+    full_drop = full_sort_sweep.powers()[0] - full_sort_sweep.powers()[-1]
+    intra_drop = intra_row_sweep.powers()[0] - intra_row_sweep.powers()[-1]
+    decreases = intra_row_sweep.powers()[-1] < intra_row_sweep.powers()[0]
+    return _make(
+        "T11",
+        decreases and intra_drop <= full_drop,
+        f"intra-row drop {intra_drop:.1f} W vs full-sort drop {full_drop:.1f} W",
+    )
+
+
+# --------------------------------------------------------------- T12 – T15
+
+
+def check_t12_sparsity_decreases(sweep: SweepResult) -> TakeawayCheck:
+    return _decreasing(sweep, "T12")
+
+
+def check_t13_sorted_sparsity_peak(sweep: SweepResult) -> TakeawayCheck:
+    """T13: on sorted inputs, moderate sparsity *raises* power (interior peak)."""
+    powers = sweep.powers()
+    values = [float(v) for v in sweep.values]
+    peak_index = max(range(len(powers)), key=powers.__getitem__)
+    interior_peak = 0 < peak_index < len(powers) - 1
+    rises_above_baseline = powers[peak_index] > powers[0]
+    falls_at_high_sparsity = powers[-1] < powers[peak_index]
+    return _make(
+        "T13",
+        interior_peak and rises_above_baseline and falls_at_high_sparsity,
+        f"peak {powers[peak_index]:.1f} W at sparsity {values[peak_index]:.2f} "
+        f"(baseline {powers[0]:.1f} W, fully sparse {powers[-1]:.1f} W)",
+    )
+
+
+def check_t14_zero_lsb_reduces(sweep: SweepResult) -> TakeawayCheck:
+    return _decreasing(sweep, "T14")
+
+
+def check_t15_zero_msb_reduces(sweep: SweepResult) -> TakeawayCheck:
+    return _decreasing(sweep, "T15")
+
+
+# ------------------------------------------------------------- aggregation
+
+
+def evaluate_takeaways(
+    sweeps: Mapping[str, SweepResult],
+    power_by_dtype: Mapping[str, float] | None = None,
+) -> list[TakeawayCheck]:
+    """Evaluate every takeaway for which the required sweeps are present.
+
+    ``sweeps`` maps well-known keys to sweep results:
+
+    ``std``, ``mean``, ``value_set`` (Fig. 3), ``bit_flip``, ``lsb``, ``msb``
+    (Fig. 4), ``sorted_rows``, ``sorted_aligned``, ``sorted_columns``,
+    ``sorted_within_rows`` (Fig. 5), ``sparsity``, ``sorted_sparsity``,
+    ``zero_lsb``, ``zero_msb`` (Fig. 6).  ``power_by_dtype`` supplies the
+    datatype ranking for T7.
+    """
+    checks: list[TakeawayCheck] = []
+
+    def have(*keys: str) -> bool:
+        return all(key in sweeps for key in keys)
+
+    if have("std"):
+        checks.append(check_t1_std_insensitive(sweeps["std"]))
+    if have("mean"):
+        checks.append(check_t2_mean_reduces_power(sweeps["mean"]))
+    if have("value_set"):
+        checks.append(check_t3_small_set_reduces_power(sweeps["value_set"]))
+    if have("bit_flip"):
+        checks.append(check_t4_similar_bits_use_less(sweeps["bit_flip"]))
+    if have("lsb"):
+        checks.append(check_t5_lsb_randomization_increases(sweeps["lsb"]))
+    if have("msb"):
+        checks.append(check_t6_msb_randomization_increases(sweeps["msb"]))
+    if power_by_dtype is not None:
+        checks.append(check_t7_fp16t_most_power_hungry(power_by_dtype))
+    if have("sorted_rows"):
+        checks.append(check_t8_sorting_decreases(sweeps["sorted_rows"]))
+    if have("sorted_rows", "sorted_aligned"):
+        checks.append(
+            check_t9_aligned_sorting_better(sweeps["sorted_rows"], sweeps["sorted_aligned"])
+        )
+    if have("sorted_columns"):
+        checks.append(check_t10_column_sorting_decreases(sweeps["sorted_columns"]))
+    if have("sorted_rows", "sorted_within_rows"):
+        checks.append(
+            check_t11_intra_row_lesser_effect(
+                sweeps["sorted_rows"], sweeps["sorted_within_rows"]
+            )
+        )
+    if have("sparsity"):
+        checks.append(check_t12_sparsity_decreases(sweeps["sparsity"]))
+    if have("sorted_sparsity"):
+        checks.append(check_t13_sorted_sparsity_peak(sweeps["sorted_sparsity"]))
+    if have("zero_lsb"):
+        checks.append(check_t14_zero_lsb_reduces(sweeps["zero_lsb"]))
+    if have("zero_msb"):
+        checks.append(check_t15_zero_msb_reduces(sweeps["zero_msb"]))
+    return checks
+
+
+def passed_fraction(checks: Sequence[TakeawayCheck]) -> float:
+    """Fraction of takeaway checks that passed."""
+    if not checks:
+        raise AnalysisError("no takeaway checks were evaluated")
+    return sum(1 for c in checks if c.passed) / len(checks)

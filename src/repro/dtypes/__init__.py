@@ -1,0 +1,25 @@
+"""Bit-level datatype models (FP32, FP16, FP16-T, BF16, FP64, INT8, INT32).
+
+The paper compares GEMM power across datatype setups; every experiment needs
+to (a) quantize generated FP32 values into the target datatype with
+round-to-nearest conversion and (b) inspect the exact bit patterns the GPU
+datapath would see.  This package provides both.
+"""
+
+from repro.dtypes.base import DTypeSpec, FloatFormat, IntFormat
+from repro.dtypes.registry import (
+    PAPER_DTYPES,
+    get_dtype,
+    list_dtypes,
+    register_dtype,
+)
+
+__all__ = [
+    "DTypeSpec",
+    "FloatFormat",
+    "IntFormat",
+    "get_dtype",
+    "list_dtypes",
+    "register_dtype",
+    "PAPER_DTYPES",
+]

@@ -1,0 +1,32 @@
+"""IEEE-754 binary16 (FP16) datatype.
+
+Two variants mirror the paper's setups: ``fp16`` runs on CUDA cores and
+``fp16_t`` runs on tensor cores (same bit format, different execution path
+and therefore different throughput and power base).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import FloatFormat, NativeFloatSpec
+
+__all__ = ["FP16", "FP16_T", "FP16_FORMAT"]
+
+FP16_FORMAT = FloatFormat(exponent_bits=5, mantissa_bits=10)
+
+FP16 = NativeFloatSpec(
+    name="fp16",
+    value_dtype=np.dtype(np.float16),
+    word_dtype=np.dtype(np.uint16),
+    float_format=FP16_FORMAT,
+    tensor_core=False,
+)
+
+FP16_T = NativeFloatSpec(
+    name="fp16_t",
+    value_dtype=np.dtype(np.float16),
+    word_dtype=np.dtype(np.uint16),
+    float_format=FP16_FORMAT,
+    tensor_core=True,
+)

@@ -1,0 +1,19 @@
+"""IEEE-754 binary32 (FP32) datatype, executed on CUDA cores."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import FloatFormat, NativeFloatSpec
+
+__all__ = ["FP32", "FP32_FORMAT"]
+
+FP32_FORMAT = FloatFormat(exponent_bits=8, mantissa_bits=23)
+
+FP32 = NativeFloatSpec(
+    name="fp32",
+    value_dtype=np.dtype(np.float32),
+    word_dtype=np.dtype(np.uint32),
+    float_format=FP32_FORMAT,
+    tensor_core=False,
+)

@@ -1,0 +1,19 @@
+"""IEEE-754 binary64 (FP64) datatype (extension beyond the paper's setups)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import FloatFormat, NativeFloatSpec
+
+__all__ = ["FP64", "FP64_FORMAT"]
+
+FP64_FORMAT = FloatFormat(exponent_bits=11, mantissa_bits=52)
+
+FP64 = NativeFloatSpec(
+    name="fp64",
+    value_dtype=np.dtype(np.float64),
+    word_dtype=np.dtype(np.uint64),
+    float_format=FP64_FORMAT,
+    tensor_core=False,
+)

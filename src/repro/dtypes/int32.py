@@ -1,0 +1,19 @@
+"""32-bit signed integer (INT32) datatype (extension beyond the paper's setups)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import IntFormat, NativeIntSpec
+
+__all__ = ["INT32", "INT32_FORMAT"]
+
+INT32_FORMAT = IntFormat(bits=32, signed=True)
+
+INT32 = NativeIntSpec(
+    name="int32",
+    value_dtype=np.dtype(np.int32),
+    word_dtype=np.dtype(np.uint32),
+    int_format=INT32_FORMAT,
+    tensor_core=False,
+)

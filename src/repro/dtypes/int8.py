@@ -1,0 +1,19 @@
+"""8-bit signed integer (INT8) datatype with saturating conversion."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.base import IntFormat, NativeIntSpec
+
+__all__ = ["INT8", "INT8_FORMAT"]
+
+INT8_FORMAT = IntFormat(bits=8, signed=True)
+
+INT8 = NativeIntSpec(
+    name="int8",
+    value_dtype=np.dtype(np.int8),
+    word_dtype=np.dtype(np.uint8),
+    int_format=INT8_FORMAT,
+    tensor_core=False,
+)

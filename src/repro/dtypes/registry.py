@@ -1,0 +1,63 @@
+"""Registry mapping datatype names to :class:`~repro.dtypes.base.DTypeSpec`."""
+
+from __future__ import annotations
+
+from repro.dtypes.base import DTypeSpec
+from repro.dtypes.bf16 import BF16
+from repro.dtypes.fp16 import FP16, FP16_T
+from repro.dtypes.fp32 import FP32
+from repro.dtypes.fp64 import FP64
+from repro.dtypes.int8 import INT8
+from repro.dtypes.int32 import INT32
+from repro.errors import DTypeError
+
+__all__ = ["get_dtype", "list_dtypes", "register_dtype", "PAPER_DTYPES"]
+
+#: The four datatype setups evaluated in the paper, in its reporting order.
+PAPER_DTYPES: tuple[str, ...] = ("fp32", "fp16", "fp16_t", "int8")
+
+_ALIASES = {
+    "float32": "fp32",
+    "float16": "fp16",
+    "half": "fp16",
+    "fp16-t": "fp16_t",
+    "fp16t": "fp16_t",
+    "tf16": "fp16_t",
+    "bfloat16": "bf16",
+    "float64": "fp64",
+    "double": "fp64",
+    "int8_t": "int8",
+}
+
+_REGISTRY: dict[str, DTypeSpec] = {}
+
+
+def register_dtype(spec: DTypeSpec, overwrite: bool = False) -> DTypeSpec:
+    """Register a datatype spec under its canonical name."""
+    key = spec.name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise DTypeError(f"datatype {key!r} is already registered")
+    _REGISTRY[key] = spec
+    return spec
+
+
+def get_dtype(name: "str | DTypeSpec") -> DTypeSpec:
+    """Look up a datatype by name (or pass through an existing spec)."""
+    if isinstance(name, DTypeSpec):
+        return name
+    key = str(name).strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return _REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise DTypeError(f"unknown datatype {name!r}; known datatypes: {known}") from None
+
+
+def list_dtypes() -> list[str]:
+    """Return the canonical names of all registered datatypes."""
+    return sorted(_REGISTRY)
+
+
+for _spec in (FP64, FP32, FP16, FP16_T, BF16, INT8, INT32):
+    register_dtype(_spec)

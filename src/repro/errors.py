@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised intentionally by the library derive from
+:class:`ReproError` so that callers can catch library failures without
+catching programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a configuration value is invalid or inconsistent."""
+
+
+class DTypeError(ReproError):
+    """Raised when an unknown or unsupported datatype is requested."""
+
+
+class PatternError(ReproError):
+    """Raised when an input-pattern specification is invalid."""
+
+
+class DeviceError(ReproError):
+    """Raised when a GPU device specification is unknown or invalid."""
+
+
+class KernelError(ReproError):
+    """Raised when a GEMM problem or tiling configuration is invalid."""
+
+
+class ActivityError(ReproError):
+    """Raised when switching-activity estimation receives invalid inputs."""
+
+
+class PowerModelError(ReproError):
+    """Raised when the power model is mis-calibrated or misused."""
+
+
+class TelemetryError(ReproError):
+    """Raised by the simulated NVML/DCGM telemetry layer."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment definition or run is invalid."""
+
+
+class AnalysisError(ReproError):
+    """Raised by analysis routines on inconsistent inputs."""
+
+
+class OptimizationError(ReproError):
+    """Raised by the power-aware optimizers."""

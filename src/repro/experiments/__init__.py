@@ -1,0 +1,24 @@
+"""Measurement harness: experiment configuration, execution, sweeps, figures.
+
+The harness mirrors the paper's methodology: for each configuration it runs
+(simulates) a loop of identical GEMM iterations per seed, samples power at
+100 ms, trims the first 500 ms of samples, and averages across seeds, with
+A and B drawn from the same pattern but different seeds.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import ExperimentRunner, run_experiment
+from repro.experiments.results import ExperimentResult, FigureResult, SeedMeasurement, SweepResult
+from repro.experiments.sweep import run_configs, run_sweep
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentRunner",
+    "run_experiment",
+    "ExperimentResult",
+    "SeedMeasurement",
+    "SweepResult",
+    "FigureResult",
+    "run_sweep",
+    "run_configs",
+]

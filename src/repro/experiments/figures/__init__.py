@@ -1,0 +1,51 @@
+"""Per-figure experiment definitions.
+
+Each module reproduces one figure of the paper and returns a
+:class:`~repro.experiments.results.FigureResult`.  ``run_figure`` is the
+single entry point used by the benchmark harness and the examples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments.figures.common import FigureSettings
+from repro.experiments.figures.fig1_2_runtime_energy import run_fig1_runtime, run_fig2_energy
+from repro.experiments.figures.fig3_distribution import run_fig3_distribution
+from repro.experiments.figures.fig4_bit_similarity import run_fig4_bit_similarity
+from repro.experiments.figures.fig5_placement import run_fig5_placement
+from repro.experiments.figures.fig6_sparsity import run_fig6_sparsity
+from repro.experiments.figures.fig7_generalization import run_fig7_generalization
+from repro.experiments.figures.fig8_alignment import run_fig8_alignment
+from repro.experiments.results import FigureResult
+
+__all__ = ["FIGURES", "FigureSettings", "run_figure", "list_figures"]
+
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "fig1": run_fig1_runtime,
+    "fig2": run_fig2_energy,
+    "fig3": run_fig3_distribution,
+    "fig4": run_fig4_bit_similarity,
+    "fig5": run_fig5_placement,
+    "fig6": run_fig6_sparsity,
+    "fig7": run_fig7_generalization,
+    "fig8": run_fig8_alignment,
+}
+
+
+def list_figures() -> list[str]:
+    """Names of all reproducible figures."""
+    return sorted(FIGURES)
+
+
+def run_figure(name: str, settings: FigureSettings | None = None) -> FigureResult:
+    """Run the reproduction of one paper figure by name (e.g. ``"fig5"``)."""
+    key = name.strip().lower()
+    try:
+        runner = FIGURES[key]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown figure {name!r}; available: {list_figures()}"
+        ) from None
+    return runner(settings)

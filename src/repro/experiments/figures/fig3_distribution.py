@@ -1,0 +1,82 @@
+"""Figure 3: effects of input value distribution on GPU power.
+
+Three panels per datatype:
+
+* (a) Gaussian standard-deviation sweep with mean fixed at 0 (T1)
+* (b) Gaussian mean sweep with standard deviation fixed at 1 (T2)
+* (c) values drawn uniformly from a small set of Gaussian values (T3)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import (
+    FigureSettings,
+    base_config,
+    mean_sweep_values,
+    resolve_settings,
+    std_sweep_values,
+)
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import run_sweep
+
+__all__ = ["run_fig3_distribution", "STD_SWEEP", "SET_SIZE_SWEEP"]
+
+#: Standard deviations swept in panel (a) for floating point datatypes
+#: (see :func:`repro.experiments.figures.common.std_sweep_values`).
+STD_SWEEP: list[float] = [0.25, 1.0, 16.0, 210.0, 1024.0, 4096.0]
+#: Value-set sizes swept in panel (c).
+SET_SIZE_SWEEP: list[int] = [1, 4, 16, 64, 256, 1024]
+
+
+def run_fig3_distribution(settings: FigureSettings | None = None) -> FigureResult:
+    """Reproduce Figure 3 (distribution std / mean / value-set panels)."""
+    settings = resolve_settings(settings)
+    figure = FigureResult(
+        name="fig3",
+        description="Effects of input value distribution on GPU power",
+    )
+
+    for dtype in settings.dtypes:
+        std_values = settings.subsample(std_sweep_values(dtype))
+        std_base = base_config(settings, dtype, pattern_family="gaussian", mean=0.0, std=1.0)
+        figure.add_panel(
+            f"a_std/{dtype}",
+            run_sweep(
+                std_base,
+                "std",
+                std_values,
+                label=f"Fig3a std sweep ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        mean_values = settings.subsample(mean_sweep_values(dtype))
+        mean_base = base_config(settings, dtype, pattern_family="gaussian", mean=0.0, std=1.0)
+        figure.add_panel(
+            f"b_mean/{dtype}",
+            run_sweep(
+                mean_base,
+                "mean",
+                mean_values,
+                label=f"Fig3b mean sweep ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        set_values = settings.subsample(SET_SIZE_SWEEP)
+        set_base = base_config(settings, dtype, pattern_family="value_set", set_size=16)
+        figure.add_panel(
+            f"c_value_set/{dtype}",
+            run_sweep(
+                set_base,
+                "set_size",
+                set_values,
+                label=f"Fig3c value-set sweep ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+    figure.notes.append("T1: std sweeps should be nearly flat")
+    figure.notes.append("T2: larger means should reduce power for FP datatypes")
+    figure.notes.append("T3: smaller value sets should reduce power")
+    return figure

@@ -1,0 +1,92 @@
+"""Figure 4: effects of bit similarity on GPU power.
+
+The A matrix is filled with one random value and B with another (different
+seeds), then:
+
+* (a) each bit of each element is flipped with increasing probability (T4)
+* (b) an increasing number of least significant bits is randomized (T5)
+* (c) an increasing number of most significant bits is randomized (T6)
+
+The same figure also exposes the datatype power ranking (T7: FP16-T is the
+most power hungry setup).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import FigureSettings, base_config, resolve_settings
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import run_sweep
+
+__all__ = [
+    "run_fig4_bit_similarity",
+    "FLIP_PROBABILITY_SWEEP",
+    "BIT_FRACTION_SWEEP",
+]
+
+#: Per-bit flip probabilities swept in panel (a).
+FLIP_PROBABILITY_SWEEP: list[float] = [0.0, 0.05, 0.1, 0.2, 0.35, 0.5]
+#: Fractions of the word width randomized in panels (b) and (c).
+BIT_FRACTION_SWEEP: list[float] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def run_fig4_bit_similarity(settings: FigureSettings | None = None) -> FigureResult:
+    """Reproduce Figure 4 (random bit flips, randomized LSBs, randomized MSBs)."""
+    settings = resolve_settings(settings)
+    figure = FigureResult(
+        name="fig4",
+        description="Effects of bit similarity on GPU power",
+    )
+
+    for dtype in settings.dtypes:
+        flip_values = settings.subsample(FLIP_PROBABILITY_SWEEP)
+        flip_base = base_config(settings, dtype, pattern_family="bit_flip", probability=0.0)
+        figure.add_panel(
+            f"a_bit_flip/{dtype}",
+            run_sweep(
+                flip_base,
+                "probability",
+                flip_values,
+                label=f"Fig4a random bit flips ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        fraction_values = settings.subsample(BIT_FRACTION_SWEEP)
+        lsb_base = base_config(settings, dtype, pattern_family="randomize_lsb", fraction=0.0)
+        figure.add_panel(
+            f"b_lsb/{dtype}",
+            run_sweep(
+                lsb_base,
+                "fraction",
+                fraction_values,
+                label=f"Fig4b randomized LSBs ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        msb_base = base_config(settings, dtype, pattern_family="randomize_msb", fraction=0.0)
+        figure.add_panel(
+            f"c_msb/{dtype}",
+            run_sweep(
+                msb_base,
+                "fraction",
+                fraction_values,
+                label=f"Fig4c randomized MSBs ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+    figure.notes.append("T4: more flipped bits -> more power")
+    figure.notes.append("T5/T6: randomizing more LSBs/MSBs -> more power")
+    figure.notes.append("T7: FP16-T should show the highest power of all datatypes")
+    return figure
+
+
+def datatype_power_ranking(figure: FigureResult) -> dict[str, float]:
+    """Extract the per-datatype peak power from a Figure 4 result (for T7)."""
+    ranking: dict[str, float] = {}
+    for key, sweep in figure.panels.items():
+        dtype = key.split("/", 1)[1]
+        peak = max(sweep.powers())
+        ranking[dtype] = max(ranking.get(dtype, 0.0), peak)
+    return ranking

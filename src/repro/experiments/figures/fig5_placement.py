@@ -1,0 +1,92 @@
+"""Figure 5: effects of input value placement (sorting) on GPU power.
+
+Four panels per datatype, all starting from the same Gaussian values:
+
+* (a) partial sort into rows, B **not** transposed (T8)
+* (b) partial sort into rows, B transposed so sorted values align (T9)
+* (c) partial sort into columns (T10)
+* (d) partial sort within each row (T11)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import FigureSettings, base_config, resolve_settings
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import run_sweep
+
+__all__ = ["run_fig5_placement", "SORT_FRACTION_SWEEP"]
+
+#: Sort fractions swept in every panel.
+SORT_FRACTION_SWEEP: list[float] = [0.0, 0.25, 0.5, 0.75, 1.0]
+
+
+def run_fig5_placement(settings: FigureSettings | None = None) -> FigureResult:
+    """Reproduce Figure 5 (row / aligned / column / intra-row sorting)."""
+    settings = resolve_settings(settings)
+    figure = FigureResult(
+        name="fig5",
+        description="Effects of input value placement on GPU power",
+    )
+    fractions = settings.subsample(SORT_FRACTION_SWEEP)
+
+    for dtype in settings.dtypes:
+        rows_base = base_config(
+            settings, dtype, pattern_family="sorted_rows", fraction=0.0
+        ).with_overrides(transpose_b=False)
+        figure.add_panel(
+            f"a_sorted_rows/{dtype}",
+            run_sweep(
+                rows_base,
+                "fraction",
+                fractions,
+                label=f"Fig5a sorted into rows, B not transposed ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        aligned_base = base_config(
+            settings, dtype, pattern_family="sorted_rows", fraction=0.0
+        ).with_overrides(transpose_b=True)
+        figure.add_panel(
+            f"b_sorted_aligned/{dtype}",
+            run_sweep(
+                aligned_base,
+                "fraction",
+                fractions,
+                label=f"Fig5b sorted and aligned, B transposed ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        columns_base = base_config(
+            settings, dtype, pattern_family="sorted_columns", fraction=0.0
+        )
+        figure.add_panel(
+            f"c_sorted_columns/{dtype}",
+            run_sweep(
+                columns_base,
+                "fraction",
+                fractions,
+                label=f"Fig5c sorted into columns ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        within_base = base_config(
+            settings, dtype, pattern_family="sorted_within_rows", fraction=0.0
+        )
+        figure.add_panel(
+            f"d_sorted_within_rows/{dtype}",
+            run_sweep(
+                within_base,
+                "fraction",
+                fractions,
+                label=f"Fig5d sorted within rows ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+    figure.notes.append("T8/T10: sorting into rows or columns reduces power")
+    figure.notes.append("T9: aligned sorting (B transposed) reduces power the most")
+    figure.notes.append("T11: intra-row sorting helps, but less than full sorting")
+    return figure

@@ -1,0 +1,101 @@
+"""Figure 6: effects of input value sparsity on GPU power.
+
+Four panels per datatype (standard dense GEMM throughout, as in the paper):
+
+* (a) random sparsity applied to Gaussian inputs (T12)
+* (b) random sparsity applied after fully sorting the inputs (T13 — power
+  peaks around 30–40 % sparsity for floating point datatypes)
+* (c) zeroing least significant bits (T14)
+* (d) zeroing most significant bits (T15)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import FigureSettings, base_config, resolve_settings
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import run_sweep
+
+__all__ = [
+    "run_fig6_sparsity",
+    "SPARSITY_SWEEP",
+    "SORTED_SPARSITY_SWEEP",
+    "ZERO_BIT_FRACTION_SWEEP",
+]
+
+#: Sparsity levels swept in panel (a).
+SPARSITY_SWEEP: list[float] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+#: Sparsity levels swept in panel (b); denser sampling around the expected peak.
+SORTED_SPARSITY_SWEEP: list[float] = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.7, 1.0]
+#: Fractions of the word width zeroed in panels (c) and (d).
+ZERO_BIT_FRACTION_SWEEP: list[float] = [0.0, 0.2, 0.4, 0.6, 0.8, 1.0]
+
+
+def run_fig6_sparsity(settings: FigureSettings | None = None) -> FigureResult:
+    """Reproduce Figure 6 (sparsity, sparsity-after-sort, zeroed LSBs/MSBs)."""
+    settings = resolve_settings(settings)
+    figure = FigureResult(
+        name="fig6",
+        description="Effects of input value sparsity on GPU power",
+    )
+
+    for dtype in settings.dtypes:
+        sparsity_values = settings.subsample(SPARSITY_SWEEP)
+        sparse_base = base_config(settings, dtype, pattern_family="sparsity", sparsity=0.0)
+        figure.add_panel(
+            f"a_sparsity/{dtype}",
+            run_sweep(
+                sparse_base,
+                "sparsity",
+                sparsity_values,
+                label=f"Fig6a general sparsity ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        sorted_sparsity_values = settings.subsample(SORTED_SPARSITY_SWEEP)
+        sorted_sparse_base = base_config(
+            settings, dtype, pattern_family="sorted_sparsity", sparsity=0.0
+        )
+        figure.add_panel(
+            f"b_sorted_sparsity/{dtype}",
+            run_sweep(
+                sorted_sparse_base,
+                "sparsity",
+                sorted_sparsity_values,
+                label=f"Fig6b sparsity after sorting ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        zero_values = settings.subsample(ZERO_BIT_FRACTION_SWEEP)
+        zero_lsb_base = base_config(settings, dtype, pattern_family="zero_lsb", fraction=0.0)
+        figure.add_panel(
+            f"c_zero_lsb/{dtype}",
+            run_sweep(
+                zero_lsb_base,
+                "fraction",
+                zero_values,
+                label=f"Fig6c zeroed LSBs ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+        zero_msb_base = base_config(settings, dtype, pattern_family="zero_msb", fraction=0.0)
+        figure.add_panel(
+            f"d_zero_msb/{dtype}",
+            run_sweep(
+                zero_msb_base,
+                "fraction",
+                zero_values,
+                label=f"Fig6d zeroed MSBs ({dtype})",
+                workers=settings.workers,
+            ),
+        )
+
+    figure.notes.append("T12: sparsity reduces power monotonically")
+    figure.notes.append(
+        "T13: sparsity on sorted inputs first raises power (peak near 30-40%) "
+        "before zero-dominance wins"
+    )
+    figure.notes.append("T14/T15: zeroing LSBs or MSBs reduces power")
+    return figure

@@ -1,0 +1,80 @@
+"""Figure 8: bit alignment and Hamming weight versus GPU power.
+
+Every experiment configuration from the earlier sections contributes one
+scatter point per datatype: its average power, the average bit alignment
+between the multiplied A/B operand pairs, and the average Hamming weight of
+its inputs.  The reproduction runs a representative subset of those
+configurations and reports the per-datatype correlations.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.correlation import correlate_power_with_bit_metrics
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.figures.common import FigureSettings, base_config, resolve_settings
+from repro.experiments.results import ExperimentResult, FigureResult, SweepResult
+from repro.experiments.sweep import run_configs
+
+__all__ = ["run_fig8_alignment", "scatter_configurations"]
+
+#: Representative configurations drawn from every experiment family.
+_SCATTER_SPECS: tuple[tuple[str, dict], ...] = (
+    ("gaussian", {}),
+    ("gaussian", {"mean": 4096.0, "std": 1.0}),
+    ("value_set", {"set_size": 4}),
+    ("value_set", {"set_size": 256}),
+    ("constant_random", {}),
+    ("bit_flip", {"probability": 0.25}),
+    ("randomize_lsb", {"fraction": 0.5}),
+    ("randomize_msb", {"fraction": 0.5}),
+    ("sorted_rows", {"fraction": 1.0}),
+    ("sorted_within_rows", {"fraction": 1.0}),
+    ("sparsity", {"sparsity": 0.5}),
+    ("sorted_sparsity", {"sparsity": 0.35}),
+    ("zero_lsb", {"fraction": 0.5}),
+    ("zero_msb", {"fraction": 0.5}),
+)
+
+
+def scatter_configurations(settings: FigureSettings, dtype: str) -> list[ExperimentConfig]:
+    """The experiment configurations contributing scatter points for one datatype."""
+    configs = []
+    for family, params in _SCATTER_SPECS:
+        config = base_config(settings, dtype, pattern_family=family, **params)
+        label = f"{family}({','.join(f'{k}={v}' for k, v in params.items())})/{dtype}"
+        configs.append(config.with_overrides(label=label))
+    return configs
+
+
+def run_fig8_alignment(settings: FigureSettings | None = None) -> FigureResult:
+    """Reproduce Figure 8 (alignment / Hamming weight vs. power scatter)."""
+    settings = resolve_settings(settings)
+    figure = FigureResult(
+        name="fig8",
+        description="Bit alignment and Hamming weight of input values vs. GPU power",
+    )
+
+    all_results: list[ExperimentResult] = []
+    for dtype in settings.dtypes:
+        configs = scatter_configurations(settings, dtype)
+        results = run_configs(configs, workers=settings.workers)
+        all_results.extend(results)
+        sweep = SweepResult(
+            parameter="configuration",
+            values=[c.label for c in configs],
+            results=results,
+            label=f"Fig8 scatter points ({dtype})",
+        )
+        figure.add_panel(f"scatter/{dtype}", sweep)
+
+    for summary in correlate_power_with_bit_metrics(all_results):
+        figure.notes.append(
+            f"{summary.dtype}: corr(power, alignment) pearson={summary.alignment_pearson:+.2f}, "
+            f"corr(power, hamming) pearson={summary.hamming_pearson:+.2f} "
+            f"({summary.num_points} points)"
+        )
+    figure.notes.append(
+        "paper: higher alignment / lower Hamming weight loosely track lower power "
+        "for FP datatypes, though not perfectly consistently"
+    )
+    return figure

@@ -1,0 +1,126 @@
+"""Experiment runner.
+
+Reproduces the paper's measurement loop for one configuration:
+
+1. For each seed, generate A and B from the configured pattern (same
+   pattern, different seeds; B stored transposed unless disabled).
+2. Plan the CUTLASS-style kernel launch and estimate switching activity.
+3. Run the power model (with TDP throttling) and the runtime model.
+4. Simulate the DCGM 100 ms power trace for the full iteration loop, trim
+   the first 500 ms of samples, and average the rest.
+5. Aggregate across seeds into an :class:`ExperimentResult`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.activity.engine import estimate_activity
+from repro.dtypes.registry import get_dtype
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult, SeedMeasurement
+from repro.gpu.device import Device
+from repro.kernels.gemm import GemmOperands, GemmProblem
+from repro.kernels.launch import plan_launch
+from repro.patterns.library import build_pattern
+from repro.power.energy import EnergyEstimate
+from repro.power.model import PowerModel
+from repro.runtime.model import RuntimeModel
+from repro.telemetry.dcgm import DcgmMonitor
+from repro.util.rng import derive_rng, derive_seed
+
+__all__ = ["ExperimentRunner", "run_experiment"]
+
+#: Minimum simulated measurement window.  The paper sizes its iteration
+#: counts so each run spans many 100 ms samples; short configurations are
+#: padded up to this duration (by running more iterations) so warmup
+#: trimming and trace averaging stay meaningful.
+MIN_MEASUREMENT_DURATION_S = 3.0
+
+
+class ExperimentRunner:
+    """Runs one :class:`~repro.experiments.config.ExperimentConfig`."""
+
+    def __init__(self, config: ExperimentConfig) -> None:
+        self.config = config
+        self.device = Device.create(config.gpu, instance_id=config.instance_id)
+        self.power_model = PowerModel(self.device)
+        self.runtime_model = RuntimeModel()
+
+    # ------------------------------------------------------------------ API
+
+    def run(self) -> ExperimentResult:
+        measurements = [self._run_seed(index) for index in range(self.config.seeds)]
+        description = self.config.describe()
+        description["device"] = self.device.describe()
+        return ExperimentResult(config=description, measurements=measurements)
+
+    # ------------------------------------------------------------- internals
+
+    def _build_problem(self) -> GemmProblem:
+        size = self.config.matrix_size
+        return GemmProblem.square(
+            size, dtype=self.config.dtype, transpose_b=self.config.transpose_b
+        )
+
+    def _generate_operands(self, problem: GemmProblem, seed_index: int) -> GemmOperands:
+        spec = get_dtype(self.config.dtype)
+        pattern = build_pattern(
+            self.config.pattern_family, spec, **dict(self.config.pattern_params)
+        )
+        rng_a = derive_rng(self.config.base_seed, "A", seed_index)
+        rng_b = derive_rng(self.config.base_seed, "B", seed_index)
+        a = pattern.generate(problem.a_shape, spec, rng_a)
+        b_stored = pattern.generate(problem.b_storage_shape, spec, rng_b)
+        return GemmOperands(problem=problem, a=a, b_stored=b_stored)
+
+    def _run_seed(self, seed_index: int) -> SeedMeasurement:
+        config = self.config
+        problem = self._build_problem()
+        operands = self._generate_operands(problem, seed_index)
+        launch = plan_launch(problem, self.device)
+
+        activity = estimate_activity(operands, sampling=config.sampling, seed=seed_index)
+        power = self.power_model.estimate(
+            launch,
+            activity,
+            include_process_variation=config.include_process_variation,
+        )
+        runtime = self.runtime_model.estimate(launch, clock_scale=power.clock_scale)
+
+        # Size the simulated measurement window like the paper sizes its
+        # iteration counts: long enough for stable 100 ms sampling.
+        iterations = max(
+            config.iterations,
+            int(math.ceil(MIN_MEASUREMENT_DURATION_S / runtime.iteration_time_s)),
+        )
+        duration_s = iterations * runtime.iteration_time_s
+
+        monitor = DcgmMonitor(self.device, config=config.telemetry)
+        trace_seed = derive_seed(config.base_seed, "trace", seed_index)
+        trace = monitor.power_trace(power.watts, duration_s, seed=trace_seed)
+        trimmed = trace.trim_warmup(config.warmup_trim_s)
+        measured_power = trimmed.mean_power_watts()
+
+        energy = EnergyEstimate(
+            power_watts=measured_power,
+            iteration_time_s=runtime.iteration_time_s,
+            iterations=iterations,
+        )
+
+        return SeedMeasurement(
+            seed=seed_index,
+            power_watts=measured_power,
+            unconstrained_power_watts=power.unconstrained_watts,
+            iteration_time_s=runtime.iteration_time_s,
+            iteration_energy_j=energy.iteration_energy_j,
+            activity_factor=power.activity_factor,
+            throttled=power.throttled,
+            clock_scale=power.clock_scale,
+            activity=activity,
+        )
+
+
+def run_experiment(config: ExperimentConfig) -> ExperimentResult:
+    """Convenience wrapper: run a configuration and return its result."""
+    return ExperimentRunner(config).run()

@@ -1,0 +1,82 @@
+"""Parameter sweeps over experiment configurations.
+
+Sweeps are the unit of work behind every figure panel: one configuration,
+one parameter varied over a list of values.  Runs are embarrassingly
+parallel across sweep points; ``workers > 1`` distributes them over a
+process pool (each point re-creates its device and models locally, so no
+state is shared).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.harness import run_experiment
+from repro.experiments.results import ExperimentResult, SweepResult
+
+__all__ = ["run_sweep", "run_configs", "sweep_configs"]
+
+
+def sweep_configs(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence[Any],
+    target: str = "pattern",
+) -> list[ExperimentConfig]:
+    """Build the list of configs for a sweep.
+
+    ``target`` selects where the parameter lives: ``"pattern"`` puts it into
+    the pattern parameters (e.g. ``std``, ``sparsity``, ``fraction``);
+    ``"config"`` replaces a field of the experiment config itself (e.g.
+    ``dtype``, ``matrix_size``, ``gpu``).
+    """
+    if target not in ("pattern", "config"):
+        raise ExperimentError(f"target must be 'pattern' or 'config', got {target!r}")
+    if not values:
+        raise ExperimentError("a sweep needs at least one value")
+    configs = []
+    for value in values:
+        if target == "pattern":
+            params = dict(base.pattern_params)
+            params[parameter] = value
+            config = base.with_overrides(pattern_params=params)
+        else:
+            config = base.with_overrides(**{parameter: value})
+        config = config.with_overrides(label=f"{base.label or base.pattern_family}:{parameter}={value}")
+        configs.append(config)
+    return configs
+
+
+def run_configs(
+    configs: Iterable[ExperimentConfig], workers: int = 1
+) -> list[ExperimentResult]:
+    """Run a list of configurations, optionally across a process pool."""
+    config_list = list(configs)
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    if workers == 1 or len(config_list) <= 1:
+        return [run_experiment(config) for config in config_list]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(run_experiment, config_list))
+
+
+def run_sweep(
+    base: ExperimentConfig,
+    parameter: str,
+    values: Sequence[Any],
+    target: str = "pattern",
+    label: str = "",
+    workers: int = 1,
+) -> SweepResult:
+    """Run a one-parameter sweep and collect it into a :class:`SweepResult`."""
+    configs = sweep_configs(base, parameter, values, target=target)
+    results = run_configs(configs, workers=workers)
+    return SweepResult(
+        parameter=parameter,
+        values=list(values),
+        results=results,
+        label=label or f"{base.pattern_family}/{base.dtype}/{base.gpu}: {parameter} sweep",
+    )

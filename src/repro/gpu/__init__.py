@@ -1,0 +1,39 @@
+"""Parametric GPU device models.
+
+The paper measures real NVIDIA GPUs (A100 PCIe, H100 SXM, V100 SXM2,
+Quadro RTX 6000).  This package provides the architectural description of
+those devices — SM counts, clocks, memory system, per-datatype peak
+throughput, TDP — plus a DVFS/throttling model.  The power model
+(:mod:`repro.power`) and runtime model (:mod:`repro.runtime`) are built on
+top of these descriptions.
+"""
+
+from repro.gpu.clocks import ClockModel, ThrottleState
+from repro.gpu.device import Device
+from repro.gpu.memory import MemoryHierarchy, gemm_dram_traffic_bytes
+from repro.gpu.sm import SMResources
+from repro.gpu.specs import (
+    GPU_SPECS,
+    PAPER_GPUS,
+    GPUSpec,
+    get_gpu_spec,
+    list_gpus,
+    register_gpu_spec,
+)
+from repro.gpu.tensor_core import TensorCoreConfig
+
+__all__ = [
+    "ClockModel",
+    "ThrottleState",
+    "Device",
+    "MemoryHierarchy",
+    "gemm_dram_traffic_bytes",
+    "SMResources",
+    "GPUSpec",
+    "GPU_SPECS",
+    "PAPER_GPUS",
+    "get_gpu_spec",
+    "list_gpus",
+    "register_gpu_spec",
+    "TensorCoreConfig",
+]

@@ -1,0 +1,100 @@
+"""Clock/DVFS and TDP throttling model.
+
+When the unconstrained power of a kernel exceeds the device's TDP, the GPU
+lowers its SM clock (and slightly its voltage) until the power limit is
+respected.  We model dynamic power as proportional to ``f * V^2`` with the
+voltage tracking frequency over the throttling range, giving an effective
+``P_dyn ∝ s^2`` dependence on the clock scale ``s``; runtime of a
+compute-bound kernel scales as ``1/s``.
+
+The paper relies on this behaviour twice: matrix size 2048 was chosen as
+"the largest power of two that did not consistently throttle the A100", and
+the RTX 6000 had to be run at 512x512 because it throttled at 2048x2048.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["ThrottleState", "ClockModel"]
+
+#: Exponent relating dynamic power to the clock scale inside the DVFS range.
+POWER_CLOCK_EXPONENT = 2.0
+
+#: Lowest clock scale the DVFS governor will reach before giving up.
+MIN_CLOCK_SCALE = 0.35
+
+
+@dataclass(frozen=True)
+class ThrottleState:
+    """Result of resolving the steady-state clock under a power limit."""
+
+    clock_scale: float
+    throttled: bool
+    unconstrained_power_watts: float
+    constrained_power_watts: float
+
+    @property
+    def runtime_scale(self) -> float:
+        """Multiplier on compute-bound runtime caused by the lowered clock."""
+        return 1.0 / self.clock_scale
+
+
+class ClockModel:
+    """DVFS model for one GPU."""
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        if spec.boost_clock_mhz <= 0 or spec.base_clock_mhz <= 0:
+            raise DeviceError(f"{spec.name}: clocks must be positive")
+
+    @property
+    def boost_clock_hz(self) -> float:
+        return self.spec.boost_clock_mhz * 1e6
+
+    @property
+    def base_clock_hz(self) -> float:
+        return self.spec.base_clock_mhz * 1e6
+
+    def dynamic_power_at_scale(self, dynamic_watts: float, clock_scale: float) -> float:
+        """Dynamic power when the clock is scaled to ``clock_scale`` of boost."""
+        if not 0.0 < clock_scale <= 1.0:
+            raise DeviceError(f"clock_scale must be in (0, 1], got {clock_scale}")
+        return dynamic_watts * clock_scale**POWER_CLOCK_EXPONENT
+
+    def resolve_throttle(
+        self, idle_watts: float, dynamic_watts: float, power_limit_watts: float | None = None
+    ) -> ThrottleState:
+        """Find the steady-state clock scale under the TDP (or explicit limit).
+
+        ``dynamic_watts`` is the clock-dependent part of the power draw at
+        full boost clock.  The returned state reports both the unconstrained
+        power (no limit) and the constrained power actually drawn.
+        """
+        limit = self.spec.tdp_watts if power_limit_watts is None else float(power_limit_watts)
+        if limit <= 0:
+            raise DeviceError(f"power limit must be positive, got {limit}")
+        if dynamic_watts < 0:
+            raise DeviceError(f"dynamic power must be non-negative, got {dynamic_watts}")
+        unconstrained = idle_watts + dynamic_watts
+        if unconstrained <= limit or dynamic_watts == 0.0:
+            return ThrottleState(
+                clock_scale=1.0,
+                throttled=False,
+                unconstrained_power_watts=unconstrained,
+                constrained_power_watts=unconstrained,
+            )
+        # Solve idle + s^k * dynamic = limit for s.
+        headroom = max(limit - idle_watts, 0.0)
+        scale = (headroom / dynamic_watts) ** (1.0 / POWER_CLOCK_EXPONENT)
+        scale = max(min(scale, 1.0), MIN_CLOCK_SCALE)
+        constrained = idle_watts + self.dynamic_power_at_scale(dynamic_watts, scale)
+        return ThrottleState(
+            clock_scale=scale,
+            throttled=True,
+            unconstrained_power_watts=unconstrained,
+            constrained_power_watts=constrained,
+        )

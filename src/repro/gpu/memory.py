@@ -1,0 +1,80 @@
+"""Memory hierarchy model and DRAM traffic estimation for tiled GEMM."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["MemoryHierarchy", "gemm_dram_traffic_bytes"]
+
+
+@dataclass(frozen=True)
+class MemoryHierarchy:
+    """Bandwidths and capacities of one GPU's memory system."""
+
+    dram_bandwidth_bytes_per_s: float
+    dram_capacity_bytes: float
+    l2_capacity_bytes: float
+    shared_mem_per_sm_bytes: float
+    #: effective fraction of peak DRAM bandwidth achievable by a tuned GEMM
+    efficiency: float = 0.82
+
+    @classmethod
+    def from_spec(cls, spec: GPUSpec) -> "MemoryHierarchy":
+        return cls(
+            dram_bandwidth_bytes_per_s=spec.memory_bandwidth_gbps * 1e9,
+            dram_capacity_bytes=spec.memory_size_gb * 1024**3,
+            l2_capacity_bytes=spec.l2_cache_mb * 1024**2,
+            shared_mem_per_sm_bytes=spec.shared_mem_per_sm_kb * 1024,
+        )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable DRAM bandwidth in bytes/s."""
+        return self.dram_bandwidth_bytes_per_s * self.efficiency
+
+    def transfer_time_s(self, num_bytes: float) -> float:
+        """Time to move ``num_bytes`` through DRAM at effective bandwidth."""
+        if num_bytes < 0:
+            raise DeviceError(f"byte count must be non-negative, got {num_bytes}")
+        return num_bytes / self.effective_bandwidth
+
+    def fits_in_l2(self, num_bytes: float) -> bool:
+        return num_bytes <= self.l2_capacity_bytes
+
+
+def gemm_dram_traffic_bytes(
+    n: int,
+    m: int,
+    k: int,
+    element_bytes: int,
+    tile_m: int,
+    tile_n: int,
+    l2_capacity_bytes: float | None = None,
+) -> float:
+    """Estimate DRAM traffic for a tiled GEMM ``(n, k) x (k, m)``.
+
+    With threadblock output tiles of shape ``tile_n x tile_m``, each tile
+    streams a ``tile_n x k`` slice of A and a ``k x tile_m`` slice of B, so A
+    is re-read once per column of tiles and B once per row of tiles.  When
+    an entire operand fits in L2 the re-reads are served on chip and only
+    the first read hits DRAM.
+    """
+    if min(n, m, k, element_bytes, tile_m, tile_n) <= 0:
+        raise DeviceError("all GEMM traffic parameters must be positive")
+    tiles_m = -(-m // tile_m)  # ceil division
+    tiles_n = -(-n // tile_n)
+    a_bytes = n * k * element_bytes
+    b_bytes = k * m * element_bytes
+    a_reads = tiles_m
+    b_reads = tiles_n
+    if l2_capacity_bytes is not None:
+        if a_bytes <= l2_capacity_bytes:
+            a_reads = 1
+        if b_bytes <= l2_capacity_bytes:
+            b_reads = 1
+    c_bytes = n * m * element_bytes
+    # C is read (beta term) and D written once.
+    return float(a_bytes * a_reads + b_bytes * b_reads + 2 * c_bytes)

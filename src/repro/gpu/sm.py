@@ -1,0 +1,47 @@
+"""Streaming-multiprocessor resource description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpu.specs import GPUSpec
+
+__all__ = ["SMResources"]
+
+
+@dataclass(frozen=True)
+class SMResources:
+    """Per-SM execution resources relevant to GEMM power.
+
+    These numbers partition the device's active power between the scheduler
+    / instruction path and the arithmetic datapath, and define how many MAC
+    lanes toggle simultaneously for a given datatype path.
+    """
+
+    cuda_cores: int
+    tensor_cores: int
+    warp_schedulers: int = 4
+    register_file_kb: int = 256
+    max_warps: int = 64
+
+    @classmethod
+    def from_spec(cls, spec: GPUSpec) -> "SMResources":
+        return cls(
+            cuda_cores=spec.cuda_cores_per_sm,
+            tensor_cores=spec.tensor_cores_per_sm,
+        )
+
+    def mac_lanes(self, tensor_core: bool, bits: int) -> int:
+        """Number of scalar MAC lanes active per cycle for a datatype path.
+
+        CUDA cores execute one FMA per core per cycle for 32-bit types and
+        pack two (16-bit) or four (8-bit) operations per core; each tensor
+        core sustains many more MACs per cycle.
+        """
+        if tensor_core:
+            # One Ampere-class tensor core performs a 4x4x4-equivalent MMA
+            # slice per cycle (64 MACs); scale for narrower operands.
+            per_core = 64 * max(32 // max(bits, 1), 1) // 2
+            return self.tensor_cores * per_core
+        packing = max(32 // max(bits, 1), 1)
+        return self.cuda_cores * packing

@@ -1,0 +1,269 @@
+"""GPU specification database.
+
+Specs describe the four GPUs evaluated in the paper plus a generic device.
+Peak per-datatype throughputs follow the vendor datasheets (dense, no
+sparsity acceleration); power figures use the TDPs quoted in the paper.
+Absolute throughput only affects the runtime model's scale, never the
+direction of any input-dependence trend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Mapping
+
+from repro.errors import DeviceError
+
+__all__ = [
+    "GPUSpec",
+    "GPU_SPECS",
+    "PAPER_GPUS",
+    "get_gpu_spec",
+    "list_gpus",
+    "register_gpu_spec",
+]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Architectural description of one GPU model."""
+
+    name: str
+    architecture: str
+    year: int
+    sm_count: int
+    cuda_cores_per_sm: int
+    tensor_cores_per_sm: int
+    base_clock_mhz: float
+    boost_clock_mhz: float
+    memory_type: str
+    memory_size_gb: float
+    memory_bandwidth_gbps: float
+    l2_cache_mb: float
+    shared_mem_per_sm_kb: float
+    tdp_watts: float
+    idle_watts: float
+    #: peak dense throughput in TFLOP/s (or TOP/s for integers) per datatype name
+    peak_tflops: Mapping[str, float] = field(default_factory=dict)
+    #: fraction of TDP attributable to data-dependent switching at full activity
+    data_dependent_fraction: float = 0.42
+    #: standard deviation (watts) of chip-to-chip process variation
+    process_variation_watts: float = 3.5
+
+    def peak_throughput(self, dtype_name: str) -> float:
+        """Peak throughput for a datatype, in TFLOP/s (TOP/s for integers)."""
+        try:
+            return float(self.peak_tflops[dtype_name])
+        except KeyError:
+            raise DeviceError(
+                f"{self.name}: no peak throughput registered for dtype {dtype_name!r}"
+            ) from None
+
+    def supports_dtype(self, dtype_name: str) -> bool:
+        return dtype_name in self.peak_tflops
+
+    @property
+    def total_cuda_cores(self) -> int:
+        return self.sm_count * self.cuda_cores_per_sm
+
+    @property
+    def total_tensor_cores(self) -> int:
+        return self.sm_count * self.tensor_cores_per_sm
+
+    def scaled(self, **overrides: object) -> "GPUSpec":
+        """Return a copy with selected fields replaced (for what-if studies)."""
+        return replace(self, **overrides)  # type: ignore[arg-type]
+
+
+#: GPUs used in the paper, in the order of Figure 7.
+PAPER_GPUS: tuple[str, ...] = ("v100", "a100", "h100", "rtx6000")
+
+
+_A100 = GPUSpec(
+    name="a100",
+    architecture="Ampere",
+    year=2020,
+    sm_count=108,
+    cuda_cores_per_sm=64,
+    tensor_cores_per_sm=4,
+    base_clock_mhz=765.0,
+    boost_clock_mhz=1410.0,
+    memory_type="HBM2e",
+    memory_size_gb=80.0,
+    memory_bandwidth_gbps=1935.0,
+    l2_cache_mb=40.0,
+    shared_mem_per_sm_kb=164.0,
+    tdp_watts=300.0,  # A100 PCIe as configured in the paper's Azure VM
+    idle_watts=52.0,
+    peak_tflops={
+        "fp64": 9.7,
+        "fp32": 19.5,
+        "fp16": 78.0,
+        "fp16_t": 312.0,
+        "bf16": 312.0,
+        "int8": 156.0,
+        "int32": 19.5,
+    },
+    data_dependent_fraction=0.42,
+    process_variation_watts=3.5,
+)
+
+_H100 = GPUSpec(
+    name="h100",
+    architecture="Hopper",
+    year=2022,
+    sm_count=132,
+    cuda_cores_per_sm=128,
+    tensor_cores_per_sm=4,
+    base_clock_mhz=1095.0,
+    boost_clock_mhz=1980.0,
+    memory_type="HBM3",
+    memory_size_gb=80.0,
+    memory_bandwidth_gbps=3350.0,
+    l2_cache_mb=50.0,
+    shared_mem_per_sm_kb=228.0,
+    tdp_watts=700.0,  # H100 SXM5
+    idle_watts=72.0,
+    peak_tflops={
+        "fp64": 34.0,
+        "fp32": 67.0,
+        "fp16": 134.0,
+        "fp16_t": 990.0,
+        "bf16": 990.0,
+        "int8": 268.0,
+        "int32": 34.0,
+    },
+    data_dependent_fraction=0.44,
+    process_variation_watts=5.0,
+)
+
+_V100 = GPUSpec(
+    name="v100",
+    architecture="Volta",
+    year=2017,
+    sm_count=80,
+    cuda_cores_per_sm=64,
+    tensor_cores_per_sm=8,
+    base_clock_mhz=1290.0,
+    boost_clock_mhz=1530.0,
+    memory_type="HBM2",
+    memory_size_gb=32.0,
+    memory_bandwidth_gbps=900.0,
+    l2_cache_mb=6.0,
+    shared_mem_per_sm_kb=96.0,
+    tdp_watts=300.0,  # V100 SXM2
+    idle_watts=40.0,
+    peak_tflops={
+        "fp64": 7.8,
+        "fp32": 15.7,
+        "fp16": 31.4,
+        "fp16_t": 125.0,
+        "bf16": 31.4,
+        "int8": 62.8,
+        "int32": 15.7,
+    },
+    data_dependent_fraction=0.40,
+    process_variation_watts=3.0,
+)
+
+_RTX6000 = GPUSpec(
+    name="rtx6000",
+    architecture="Turing",
+    year=2018,
+    sm_count=72,
+    cuda_cores_per_sm=64,
+    tensor_cores_per_sm=8,
+    base_clock_mhz=1440.0,
+    boost_clock_mhz=1770.0,
+    memory_type="GDDR6",
+    memory_size_gb=24.0,
+    memory_bandwidth_gbps=672.0,
+    l2_cache_mb=6.0,
+    shared_mem_per_sm_kb=64.0,
+    tdp_watts=260.0,
+    idle_watts=24.0,
+    peak_tflops={
+        "fp64": 0.5,
+        "fp32": 16.3,
+        "fp16": 32.6,
+        "fp16_t": 130.0,
+        "bf16": 32.6,
+        "int8": 65.2,
+        "int32": 16.3,
+    },
+    # Older design (GDDR6, lower TDP headroom): the paper observes less
+    # pronounced input-dependent swings on this GPU.
+    data_dependent_fraction=0.22,
+    process_variation_watts=2.5,
+)
+
+_GENERIC = GPUSpec(
+    name="generic",
+    architecture="Generic",
+    year=2024,
+    sm_count=100,
+    cuda_cores_per_sm=64,
+    tensor_cores_per_sm=4,
+    base_clock_mhz=1000.0,
+    boost_clock_mhz=1500.0,
+    memory_type="HBM",
+    memory_size_gb=48.0,
+    memory_bandwidth_gbps=1500.0,
+    l2_cache_mb=32.0,
+    shared_mem_per_sm_kb=128.0,
+    tdp_watts=400.0,
+    idle_watts=50.0,
+    peak_tflops={
+        "fp64": 10.0,
+        "fp32": 20.0,
+        "fp16": 80.0,
+        "fp16_t": 320.0,
+        "bf16": 320.0,
+        "int8": 160.0,
+        "int32": 20.0,
+    },
+)
+
+GPU_SPECS: dict[str, GPUSpec] = {}
+
+_ALIASES = {
+    "a100-pcie": "a100",
+    "a100_pcie": "a100",
+    "h100-sxm": "h100",
+    "h100_sxm5": "h100",
+    "v100-sxm2": "v100",
+    "quadro-rtx-6000": "rtx6000",
+    "quadro_rtx_6000": "rtx6000",
+    "rtx-6000": "rtx6000",
+}
+
+
+def register_gpu_spec(spec: GPUSpec, overwrite: bool = False) -> GPUSpec:
+    """Register a GPU spec under its canonical (lowercase) name."""
+    key = spec.name.lower()
+    if key in GPU_SPECS and not overwrite:
+        raise DeviceError(f"GPU spec {key!r} is already registered")
+    GPU_SPECS[key] = spec
+    return spec
+
+
+def get_gpu_spec(name: "str | GPUSpec") -> GPUSpec:
+    """Look up a GPU spec by name (aliases accepted) or pass one through."""
+    if isinstance(name, GPUSpec):
+        return name
+    key = str(name).strip().lower()
+    key = _ALIASES.get(key, key)
+    try:
+        return GPU_SPECS[key]
+    except KeyError:
+        known = ", ".join(sorted(GPU_SPECS))
+        raise DeviceError(f"unknown GPU {name!r}; known GPUs: {known}") from None
+
+
+def list_gpus() -> list[str]:
+    """Return the canonical names of all registered GPUs."""
+    return sorted(GPU_SPECS)
+
+
+for _spec in (_A100, _H100, _V100, _RTX6000, _GENERIC):
+    register_gpu_spec(_spec)

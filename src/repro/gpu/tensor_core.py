@@ -1,0 +1,55 @@
+"""Tensor core configuration.
+
+Tensor cores execute matrix-multiply-accumulate (MMA) instructions on small
+fragments (e.g. 16x8x16 for FP16 on Ampere).  For the power model the
+relevant properties are the fragment shape (it sets the operand streaming
+granularity) and the throughput advantage over the CUDA-core path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import DeviceError
+
+__all__ = ["TensorCoreConfig", "default_mma_shape"]
+
+
+@dataclass(frozen=True)
+class TensorCoreConfig:
+    """Shape and behaviour of the tensor-core MMA instruction for a datatype."""
+
+    mma_m: int
+    mma_n: int
+    mma_k: int
+    #: accumulate precision bits (FP16 MMA accumulates in FP32 on NVIDIA GPUs)
+    accumulator_bits: int = 32
+
+    @property
+    def macs_per_instruction(self) -> int:
+        return self.mma_m * self.mma_n * self.mma_k
+
+    def fragments_per_gemm(self, n: int, m: int, k: int) -> int:
+        """Number of MMA instructions needed to cover an (n, k) x (k, m) GEMM."""
+        if min(n, m, k) <= 0:
+            raise DeviceError("GEMM dimensions must be positive")
+        tiles_m = -(-m // self.mma_n)
+        tiles_n = -(-n // self.mma_m)
+        tiles_k = -(-k // self.mma_k)
+        return tiles_m * tiles_n * tiles_k
+
+
+_MMA_SHAPES = {
+    "fp16_t": TensorCoreConfig(mma_m=16, mma_n=8, mma_k=16),
+    "bf16": TensorCoreConfig(mma_m=16, mma_n=8, mma_k=16),
+    "int8": TensorCoreConfig(mma_m=16, mma_n=8, mma_k=32, accumulator_bits=32),
+}
+
+
+def default_mma_shape(dtype_name: str) -> TensorCoreConfig:
+    """Return the MMA fragment shape used for a datatype (tensor-core path)."""
+    try:
+        return _MMA_SHAPES[dtype_name]
+    except KeyError:
+        # CUDA-core paths are modeled as scalar FMA streams.
+        return TensorCoreConfig(mma_m=1, mma_n=1, mma_k=1)

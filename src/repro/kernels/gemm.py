@@ -1,0 +1,145 @@
+"""GEMM problem specification and reference implementation.
+
+The GEMM computed throughout the paper is ``D = alpha * A @ B + beta * C``
+with ``A`` of shape ``(N, K)``, ``B`` of shape ``(K, M)`` and ``C``/``D`` of
+shape ``(N, M)``.  The experiments zero ``C`` and update it in place.  The
+paper's default input preparation generates the B matrix with the same
+pattern as A and then *transposes* it before use; ``transpose_b`` captures
+that choice (Figure 5a is the one experiment that turns it off).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dtypes.base import DTypeSpec
+from repro.dtypes.registry import get_dtype
+from repro.errors import KernelError
+
+__all__ = ["GemmProblem", "GemmOperands", "reference_gemm"]
+
+
+@dataclass(frozen=True)
+class GemmProblem:
+    """Shape, datatype and scalars of one GEMM invocation."""
+
+    n: int
+    m: int
+    k: int
+    dtype: str = "fp16_t"
+    alpha: float = 1.0
+    beta: float = 0.0
+    transpose_b: bool = True
+
+    def __post_init__(self) -> None:
+        if min(self.n, self.m, self.k) <= 0:
+            raise KernelError(
+                f"GEMM dimensions must be positive, got n={self.n} m={self.m} k={self.k}"
+            )
+        # Normalize the datatype name early so downstream lookups are cheap.
+        object.__setattr__(self, "dtype", get_dtype(self.dtype).name)
+
+    @classmethod
+    def square(cls, size: int, dtype: str = "fp16_t", **kwargs: object) -> "GemmProblem":
+        """Square GEMM of the kind used throughout the paper (2048 default)."""
+        return cls(n=size, m=size, k=size, dtype=dtype, **kwargs)  # type: ignore[arg-type]
+
+    @property
+    def dtype_spec(self) -> DTypeSpec:
+        return get_dtype(self.dtype)
+
+    @property
+    def flops(self) -> float:
+        """Floating point (or integer) operations per GEMM: 2*N*M*K."""
+        return 2.0 * self.n * self.m * self.k
+
+    @property
+    def a_shape(self) -> tuple[int, int]:
+        return (self.n, self.k)
+
+    @property
+    def b_storage_shape(self) -> tuple[int, int]:
+        """Shape in which the B operand is generated/stored.
+
+        When ``transpose_b`` is set the kernel consumes ``B_stored.T``, so
+        the stored matrix has shape ``(M, K)``; otherwise it is ``(K, M)``.
+        """
+        return (self.m, self.k) if self.transpose_b else (self.k, self.m)
+
+    @property
+    def c_shape(self) -> tuple[int, int]:
+        return (self.n, self.m)
+
+    def operand_bytes(self) -> float:
+        """Total bytes of A, B, C and D at the problem datatype."""
+        element = self.dtype_spec.bits / 8.0
+        return element * (self.n * self.k + self.k * self.m + 2 * self.n * self.m)
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "n": self.n,
+            "m": self.m,
+            "k": self.k,
+            "dtype": self.dtype,
+            "alpha": self.alpha,
+            "beta": self.beta,
+            "transpose_b": self.transpose_b,
+        }
+
+
+@dataclass
+class GemmOperands:
+    """Concrete input matrices for one GEMM invocation.
+
+    ``a`` has shape ``(N, K)``; ``b_stored`` has the storage shape defined by
+    the problem (``(M, K)`` when the kernel transposes it).  ``b_used``
+    resolves the transpose and always has shape ``(K, M)``.
+    """
+
+    problem: GemmProblem
+    a: np.ndarray
+    b_stored: np.ndarray
+    c: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.a = np.asarray(self.a, dtype=np.float64)
+        self.b_stored = np.asarray(self.b_stored, dtype=np.float64)
+        if self.a.shape != self.problem.a_shape:
+            raise KernelError(
+                f"A has shape {self.a.shape}, expected {self.problem.a_shape}"
+            )
+        if self.b_stored.shape != self.problem.b_storage_shape:
+            raise KernelError(
+                f"B has shape {self.b_stored.shape}, expected {self.problem.b_storage_shape}"
+            )
+        if self.c is not None:
+            self.c = np.asarray(self.c, dtype=np.float64)
+            if self.c.shape != self.problem.c_shape:
+                raise KernelError(
+                    f"C has shape {self.c.shape}, expected {self.problem.c_shape}"
+                )
+
+    @property
+    def b_used(self) -> np.ndarray:
+        """B as consumed by the kernel, shape ``(K, M)``."""
+        return self.b_stored.T if self.problem.transpose_b else self.b_stored
+
+    def effective_c(self) -> np.ndarray:
+        return np.zeros(self.problem.c_shape) if self.c is None else self.c
+
+
+def reference_gemm(operands: GemmOperands) -> np.ndarray:
+    """Functional reference for ``D = alpha * A @ B + beta * C``.
+
+    Inputs are quantized to the problem datatype before the multiply and the
+    output is returned in float64 (the accumulate precision on NVIDIA tensor
+    cores is wider than the operand precision, which float64 subsumes).
+    """
+    problem = operands.problem
+    spec = problem.dtype_spec
+    a = spec.quantize(operands.a)
+    b = spec.quantize(operands.b_used)
+    c = operands.effective_c()
+    return problem.alpha * (a @ b) + problem.beta * c

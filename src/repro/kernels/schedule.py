@@ -1,0 +1,89 @@
+"""Operand streaming order of the tiled GEMM mainloop.
+
+For an output element ``(i, j)`` the mainloop walks the reduction dimension
+``k``: the multiplier sees the operand sequence ``A[i, 0], A[i, 1], ...``
+on one input and ``B[0, j], B[1, j], ...`` on the other, while the
+accumulator sees the running partial sums.  The DRAM/L2 interface, by
+contrast, sees operands in *storage* order (row-major of the stored
+matrices).  Both orders are needed by the switching-activity engine and are
+captured here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.dtypes.base import DTypeSpec
+from repro.errors import KernelError
+from repro.kernels.gemm import GemmOperands
+from repro.util.rng import sample_without_replacement
+
+__all__ = ["OperandStreams", "build_streams"]
+
+
+@dataclass
+class OperandStreams:
+    """Bit-level views of the operands in streaming and storage order."""
+
+    dtype: DTypeSpec
+    #: A as consumed, shape (N, K); the k-stream runs along axis 1
+    a_used: np.ndarray
+    #: B as consumed, shape (K, M); the k-stream runs along axis 0
+    b_used: np.ndarray
+    #: B as stored in memory (row-major), shape (M, K) or (K, M)
+    b_stored: np.ndarray
+
+    @cached_property
+    def a_words(self) -> np.ndarray:
+        """Bit patterns of A in consumption order (N, K)."""
+        return self.dtype.encode(self.a_used)
+
+    @cached_property
+    def b_words(self) -> np.ndarray:
+        """Bit patterns of B in consumption order (K, M)."""
+        return self.dtype.encode(self.b_used)
+
+    @cached_property
+    def b_stored_words(self) -> np.ndarray:
+        """Bit patterns of B in storage order."""
+        return self.dtype.encode(self.b_stored)
+
+    @property
+    def n(self) -> int:
+        return self.a_used.shape[0]
+
+    @property
+    def k(self) -> int:
+        return self.a_used.shape[1]
+
+    @property
+    def m(self) -> int:
+        return self.b_used.shape[1]
+
+    def sample_output_positions(
+        self, rng: np.random.Generator, count: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample distinct output coordinates ``(i, j)`` for per-output analysis.
+
+        Sampling is over the full ``N x M`` output space; when ``count``
+        exceeds the space the whole space is returned (shuffled).
+        """
+        if count <= 0:
+            raise KernelError(f"sample count must be positive, got {count}")
+        total = self.n * self.m
+        flat = sample_without_replacement(rng, total, min(count, total))
+        rows = flat // self.m
+        cols = flat % self.m
+        return rows.astype(np.int64), cols.astype(np.int64)
+
+
+def build_streams(operands: GemmOperands) -> OperandStreams:
+    """Build :class:`OperandStreams` for a concrete GEMM invocation."""
+    spec = operands.problem.dtype_spec
+    a_used = spec.quantize(operands.a)
+    b_used = spec.quantize(operands.b_used)
+    b_stored = spec.quantize(operands.b_stored)
+    return OperandStreams(dtype=spec, a_used=a_used, b_used=b_used, b_stored=b_stored)

@@ -1,0 +1,114 @@
+"""CUTLASS-style tiling configurations.
+
+A GEMM is decomposed into threadblock tiles (``block_m x block_n`` outputs,
+iterating over ``block_k`` slices of the reduction dimension), warp tiles
+within a threadblock and MMA fragments within a warp.  The defaults below
+follow the shapes CUTLASS picks for large square problems on Ampere-class
+GPUs; they control the operand streaming granularity and the DRAM traffic
+estimate, not the functional result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtypes.registry import get_dtype
+from repro.errors import KernelError
+from repro.gpu.specs import GPUSpec
+from repro.kernels.gemm import GemmProblem
+
+__all__ = ["TileConfig", "default_tile_config"]
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    """Threadblock / warp / instruction tiling of a GEMM kernel."""
+
+    block_m: int
+    block_n: int
+    block_k: int
+    warp_m: int = 64
+    warp_n: int = 64
+    stages: int = 3
+
+    def __post_init__(self) -> None:
+        if min(self.block_m, self.block_n, self.block_k) <= 0:
+            raise KernelError("tile dimensions must be positive")
+        if self.warp_m > self.block_m or self.warp_n > self.block_n:
+            raise KernelError("warp tile cannot exceed the threadblock tile")
+        if self.block_m % self.warp_m or self.block_n % self.warp_n:
+            raise KernelError("threadblock tile must be a multiple of the warp tile")
+        if self.stages < 1:
+            raise KernelError("pipeline stages must be >= 1")
+
+    @property
+    def warps_per_block(self) -> int:
+        return (self.block_m // self.warp_m) * (self.block_n // self.warp_n)
+
+    def grid_shape(self, problem: GemmProblem) -> tuple[int, int]:
+        """Number of threadblocks along (rows of A, columns of B)."""
+        tiles_n = -(-problem.n // self.block_m)
+        tiles_m = -(-problem.m // self.block_n)
+        return (tiles_n, tiles_m)
+
+    def num_threadblocks(self, problem: GemmProblem) -> int:
+        rows, cols = self.grid_shape(problem)
+        return rows * cols
+
+    def k_iterations(self, problem: GemmProblem) -> int:
+        """Number of mainloop iterations over the reduction dimension."""
+        return -(-problem.k // self.block_k)
+
+    def shared_memory_bytes(self, element_bytes: float) -> float:
+        """Shared memory needed for the double-buffered A and B tiles."""
+        per_stage = (self.block_m + self.block_n) * self.block_k * element_bytes
+        return per_stage * self.stages
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "block_m": self.block_m,
+            "block_n": self.block_n,
+            "block_k": self.block_k,
+            "warp_m": self.warp_m,
+            "warp_n": self.warp_n,
+            "stages": self.stages,
+        }
+
+
+_DEFAULT_TILES = {
+    # dtype name -> (block_m, block_n, block_k)
+    "fp64": (64, 64, 16),
+    "fp32": (128, 128, 8),
+    "fp16": (128, 128, 32),
+    "fp16_t": (128, 128, 32),
+    "bf16": (128, 128, 32),
+    "int8": (128, 128, 64),
+    "int32": (128, 128, 16),
+}
+
+
+def default_tile_config(dtype: str, spec: GPUSpec | None = None) -> TileConfig:
+    """Return the default CUTLASS-like tile configuration for a datatype.
+
+    The tile is shrunk for devices whose shared memory cannot hold the
+    double-buffered operand tiles (relevant for the older RTX 6000).
+    """
+    name = get_dtype(dtype).name
+    try:
+        block_m, block_n, block_k = _DEFAULT_TILES[name]
+    except KeyError:
+        raise KernelError(f"no default tile configuration for dtype {name!r}") from None
+    config = TileConfig(block_m=block_m, block_n=block_n, block_k=block_k)
+    if spec is not None:
+        element_bytes = get_dtype(dtype).bits / 8.0
+        available = spec.shared_mem_per_sm_kb * 1024
+        while config.shared_memory_bytes(element_bytes) > available and config.block_k > 8:
+            config = TileConfig(
+                block_m=config.block_m,
+                block_n=config.block_n,
+                block_k=config.block_k // 2,
+                warp_m=config.warp_m,
+                warp_n=config.warp_n,
+                stages=max(config.stages - 1, 2),
+            )
+    return config

@@ -1,0 +1,169 @@
+"""A small power-aware "compiler" (paper §V: input-dependent power models +
+power-aware compilers).
+
+A :class:`Pipeline` is a sequence of GEMM operations; each op carries its
+concrete operand matrices and flags describing which semantics-preserving or
+approximation-tolerant transforms are allowed on it.  The compiler estimates
+per-op power with the input-dependent power model, applies the cheapest
+allowed transform that reduces predicted power, and reports the before/after
+power and energy of the whole pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.gpu.device import Device
+from repro.optimize.estimation import QuickEstimate, quick_power_estimate
+from repro.optimize.permutation import greedy_low_toggle_permutation, permute_columns
+from repro.optimize.sparsity_design import magnitude_prune
+from repro.optimize.weight_shift import shift_weights_for_power
+
+__all__ = ["GemmOp", "Pipeline", "CompiledOp", "CompilationReport", "PowerAwareCompiler"]
+
+#: Transform identifiers the compiler understands.
+KNOWN_TRANSFORMS = ("permute_columns", "shift_mean", "prune")
+
+
+@dataclass
+class GemmOp:
+    """One GEMM in a pipeline: activations (A) times weights (B, stored transposed)."""
+
+    name: str
+    activations: np.ndarray
+    weights: np.ndarray
+    dtype: str = "fp16_t"
+    #: transforms this op can tolerate; permutation is always exact,
+    #: shifting and pruning are approximations the owner must opt into.
+    allowed_transforms: tuple[str, ...] = ("permute_columns",)
+    #: sparsity used when "prune" is allowed
+    prune_sparsity: float = 0.3
+
+    def __post_init__(self) -> None:
+        self.activations = np.asarray(self.activations, dtype=np.float64)
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        if self.activations.ndim != 2 or self.weights.ndim != 2:
+            raise OptimizationError(f"op {self.name!r}: operands must be 2-D matrices")
+        if self.activations.shape[1] != self.weights.shape[1]:
+            raise OptimizationError(
+                f"op {self.name!r}: activations K={self.activations.shape[1]} does not "
+                f"match weights K={self.weights.shape[1]} (weights are stored transposed)"
+            )
+        unknown = set(self.allowed_transforms) - set(KNOWN_TRANSFORMS)
+        if unknown:
+            raise OptimizationError(f"op {self.name!r}: unknown transforms {sorted(unknown)}")
+
+
+@dataclass
+class Pipeline:
+    """An ordered list of GEMM operations (e.g. the layers of a model)."""
+
+    ops: list[GemmOp] = field(default_factory=list)
+
+    def add(self, op: GemmOp) -> "Pipeline":
+        self.ops.append(op)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+
+@dataclass(frozen=True)
+class CompiledOp:
+    """One op after compilation: chosen transform and predicted effect."""
+
+    name: str
+    transform: str | None
+    baseline: QuickEstimate
+    optimized: QuickEstimate
+    exact: bool
+
+    @property
+    def power_reduction_watts(self) -> float:
+        return self.baseline.power_watts - self.optimized.power_watts
+
+
+@dataclass(frozen=True)
+class CompilationReport:
+    """Pipeline-level summary of the compilation."""
+
+    ops: list[CompiledOp]
+
+    @property
+    def baseline_energy_j(self) -> float:
+        return sum(op.baseline.iteration_energy_j for op in self.ops)
+
+    @property
+    def optimized_energy_j(self) -> float:
+        return sum(op.optimized.iteration_energy_j for op in self.ops)
+
+    @property
+    def mean_power_reduction_watts(self) -> float:
+        if not self.ops:
+            return 0.0
+        return sum(op.power_reduction_watts for op in self.ops) / len(self.ops)
+
+    @property
+    def energy_reduction_fraction(self) -> float:
+        base = self.baseline_energy_j
+        if base <= 0:
+            return 0.0
+        return (base - self.optimized_energy_j) / base
+
+
+class PowerAwareCompiler:
+    """Chooses per-op transforms that minimize predicted power."""
+
+    def __init__(self, gpu: "str | Device" = "a100") -> None:
+        self.device = gpu if isinstance(gpu, Device) else Device.create(gpu)
+
+    # -------------------------------------------------------------- passes
+
+    def _apply_transform(self, op: GemmOp, transform: str) -> tuple[np.ndarray, bool]:
+        """Return the transformed weight matrix and whether it is exact."""
+        if transform == "permute_columns":
+            permutation = greedy_low_toggle_permutation(op.weights.T, dtype=op.dtype)
+            # Weights are stored transposed (M, K); permuting output neurons
+            # means permuting rows of the stored matrix.
+            return op.weights[permutation, :], True
+        if transform == "shift_mean":
+            result = shift_weights_for_power(
+                op.activations, op.weights, dtype=op.dtype, gpu=self.device
+            )
+            return result.shifted_weights, False
+        if transform == "prune":
+            mask = magnitude_prune(op.weights, op.prune_sparsity)
+            return np.where(mask, op.weights, 0.0), False
+        raise OptimizationError(f"unknown transform {transform!r}")
+
+    def compile_op(self, op: GemmOp) -> CompiledOp:
+        """Estimate the op and apply the best allowed power-reducing transform."""
+        baseline = quick_power_estimate(
+            op.activations, op.weights, dtype=op.dtype, gpu=self.device
+        )
+        best_transform: str | None = None
+        best_estimate = baseline
+        best_exact = True
+        for transform in op.allowed_transforms:
+            weights, exact = self._apply_transform(op, transform)
+            estimate = quick_power_estimate(
+                op.activations, weights, dtype=op.dtype, gpu=self.device
+            )
+            if estimate.power_watts < best_estimate.power_watts:
+                best_transform, best_estimate, best_exact = transform, estimate, exact
+        return CompiledOp(
+            name=op.name,
+            transform=best_transform,
+            baseline=baseline,
+            optimized=best_estimate,
+            exact=best_exact,
+        )
+
+    def compile(self, pipeline: Pipeline) -> CompilationReport:
+        """Compile every op of a pipeline."""
+        if not pipeline.ops:
+            raise OptimizationError("pipeline has no operations")
+        return CompilationReport(ops=[self.compile_op(op) for op in pipeline.ops])

@@ -1,0 +1,77 @@
+"""Fast power/energy estimation for concrete matrices.
+
+The optimizers need to score many candidate transformations; going through
+the full measurement harness (simulated telemetry, multiple seeds) would be
+wasteful, so this helper runs the deterministic part of the pipeline only:
+activity estimation → power model → runtime model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.activity.engine import activity_from_matrices
+from repro.activity.sampler import SamplingConfig
+from repro.gpu.device import Device
+from repro.kernels.gemm import GemmProblem
+from repro.kernels.launch import plan_launch
+from repro.power.energy import EnergyEstimate
+from repro.power.model import PowerModel
+from repro.runtime.model import RuntimeModel
+
+__all__ = ["QuickEstimate", "quick_power_estimate"]
+
+
+@dataclass(frozen=True)
+class QuickEstimate:
+    """Deterministic power/runtime/energy estimate for one GEMM."""
+
+    power_watts: float
+    iteration_time_s: float
+    iteration_energy_j: float
+    activity_factor: float
+    throttled: bool
+
+    def as_dict(self) -> dict[str, float | bool]:
+        return {
+            "power_watts": self.power_watts,
+            "iteration_time_s": self.iteration_time_s,
+            "iteration_energy_j": self.iteration_energy_j,
+            "activity_factor": self.activity_factor,
+            "throttled": self.throttled,
+        }
+
+
+def quick_power_estimate(
+    a: np.ndarray,
+    b_stored: np.ndarray,
+    dtype: str = "fp16_t",
+    gpu: "str | Device" = "a100",
+    transpose_b: bool = True,
+    sampling: SamplingConfig | None = None,
+) -> QuickEstimate:
+    """Estimate GEMM power/energy for concrete operand matrices (no telemetry noise)."""
+    device = gpu if isinstance(gpu, Device) else Device.create(gpu)
+    a = np.asarray(a, dtype=np.float64)
+    b_stored = np.asarray(b_stored, dtype=np.float64)
+    n, k = a.shape
+    m = b_stored.shape[0] if transpose_b else b_stored.shape[1]
+    problem = GemmProblem(n=n, m=m, k=k, dtype=dtype, transpose_b=transpose_b)
+    launch = plan_launch(problem, device)
+    activity = activity_from_matrices(
+        a, b_stored, dtype=dtype, transpose_b=transpose_b, sampling=sampling
+    )
+    power = PowerModel(device).estimate(launch, activity, include_process_variation=False)
+    runtime = RuntimeModel().estimate(launch, clock_scale=power.clock_scale)
+    energy = EnergyEstimate(
+        power_watts=power.watts, iteration_time_s=runtime.iteration_time_s, iterations=1
+    )
+    return QuickEstimate(
+        power_watts=power.watts,
+        iteration_time_s=runtime.iteration_time_s,
+        iteration_energy_j=energy.iteration_energy_j,
+        activity_factor=power.activity_factor,
+        throttled=power.throttled,
+    )

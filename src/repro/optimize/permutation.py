@@ -1,0 +1,121 @@
+"""Permutation-invariant weight reordering (paper §V, second direction).
+
+Weights within a neural network layer correspond to independent neurons, so
+permuting the columns of a weight matrix (and un-permuting the layer's
+outputs) is computationally equivalent.  The paper proposes exploiting such
+permutations to place similar values next to each other and reduce switching
+— the same idea PIT (SOSP'23) uses for performance, applied to power.
+
+Two strategies are provided:
+
+* :func:`permutation_by_column_norm` — order columns by mean value, a cheap
+  approximation of sorting;
+* :func:`greedy_low_toggle_permutation` — greedy nearest-neighbour ordering
+  that directly minimizes the bit toggles between successive columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dtypes.registry import get_dtype
+from repro.errors import OptimizationError
+from repro.util.bits import hamming_distance
+from repro.util.rng import derive_rng
+
+__all__ = [
+    "permutation_by_column_norm",
+    "greedy_low_toggle_permutation",
+    "permute_columns",
+    "restore_columns",
+    "column_toggle_cost",
+]
+
+
+def permute_columns(matrix: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Return the matrix with its columns reordered by ``permutation``."""
+    arr = np.asarray(matrix)
+    perm = _check_permutation(permutation, arr.shape[1])
+    return arr[:, perm]
+
+
+def restore_columns(matrix: np.ndarray, permutation: np.ndarray) -> np.ndarray:
+    """Undo :func:`permute_columns` (used on the layer's outputs)."""
+    arr = np.asarray(matrix)
+    perm = _check_permutation(permutation, arr.shape[1])
+    inverse = np.empty_like(perm)
+    inverse[perm] = np.arange(perm.size)
+    return arr[:, inverse]
+
+
+def _check_permutation(permutation: np.ndarray, size: int) -> np.ndarray:
+    perm = np.asarray(permutation, dtype=np.int64)
+    if perm.shape != (size,) or not np.array_equal(np.sort(perm), np.arange(size)):
+        raise OptimizationError(f"not a valid permutation of {size} columns")
+    return perm
+
+
+def permutation_by_column_norm(matrix: np.ndarray) -> np.ndarray:
+    """Order columns by their mean value (ascending)."""
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise OptimizationError("expected a 2-D weight matrix")
+    return np.argsort(arr.mean(axis=0), kind="stable").astype(np.int64)
+
+
+def column_toggle_cost(matrix: np.ndarray, dtype: str, sample_rows: int = 64, seed: int = 0) -> float:
+    """Mean bit toggles between successive columns (lower is better)."""
+    spec = get_dtype(dtype)
+    arr = np.asarray(matrix, dtype=np.float64)
+    rows = _sample_rows(arr, sample_rows, seed)
+    words = spec.encode(arr[rows])
+    if words.shape[1] < 2:
+        return 0.0
+    diffs = hamming_distance(words[:, :-1], words[:, 1:])
+    return float(diffs.mean())
+
+
+def greedy_low_toggle_permutation(
+    matrix: np.ndarray, dtype: str = "fp16_t", sample_rows: int = 64, seed: int = 0
+) -> np.ndarray:
+    """Greedy nearest-neighbour column ordering minimizing successive toggles.
+
+    Starting from the column with the smallest mean, repeatedly append the
+    unvisited column whose (sampled) Hamming distance to the current column
+    is smallest.  Runs in O(M^2) distance evaluations over the sampled rows,
+    which is fine for layer-sized matrices.
+    """
+    spec = get_dtype(dtype)
+    arr = np.asarray(matrix, dtype=np.float64)
+    if arr.ndim != 2:
+        raise OptimizationError("expected a 2-D weight matrix")
+    num_columns = arr.shape[1]
+    if num_columns == 0:
+        raise OptimizationError("matrix has no columns")
+    rows = _sample_rows(arr, sample_rows, seed)
+    words = spec.encode(arr[rows])  # (sample_rows, M)
+
+    visited = np.zeros(num_columns, dtype=bool)
+    order = np.empty(num_columns, dtype=np.int64)
+    current = int(np.argsort(arr.mean(axis=0))[0])
+    order[0] = current
+    visited[current] = True
+    for position in range(1, num_columns):
+        distances = hamming_distance(
+            np.broadcast_to(words[:, current:current + 1], words.shape), words
+        ).sum(axis=0).astype(np.float64)
+        distances[visited] = np.inf
+        current = int(np.argmin(distances))
+        order[position] = current
+        visited[current] = True
+    return order
+
+
+def _sample_rows(arr: np.ndarray, sample_rows: int, seed: int) -> np.ndarray:
+    if sample_rows <= 0:
+        raise OptimizationError(f"sample_rows must be positive, got {sample_rows}")
+    total = arr.shape[0]
+    if total <= sample_rows:
+        return np.arange(total)
+    rng = derive_rng(seed, "permutation_rows")
+    return np.sort(rng.choice(total, size=sample_rows, replace=False))

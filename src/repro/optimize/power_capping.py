@@ -1,0 +1,117 @@
+"""Data pruning for power capping (paper §V / §I: "data pruning for power capping").
+
+Datacenters cap GPU power to stay within provisioned budgets; the usual
+mechanisms (frequency scaling, hard caps) cost performance.  The paper's
+observation offers an orthogonal lever: prune (sparsify) the input data
+until the predicted power fits under the cap, trading a bounded amount of
+approximation error for watts instead of latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.estimation import QuickEstimate, quick_power_estimate
+from repro.optimize.sparsity_design import magnitude_prune
+
+__all__ = ["CapPlan", "find_sparsity_for_cap"]
+
+
+@dataclass(frozen=True)
+class CapPlan:
+    """Result of searching for the smallest sparsity meeting a power cap."""
+
+    power_cap_watts: float
+    sparsity: float
+    feasible: bool
+    baseline: QuickEstimate
+    capped: QuickEstimate
+    relative_error: float
+    pruned_weights: np.ndarray
+
+    @property
+    def power_margin_watts(self) -> float:
+        """How far below the cap the capped configuration lands (negative if infeasible)."""
+        return self.power_cap_watts - self.capped.power_watts
+
+
+def find_sparsity_for_cap(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    power_cap_watts: float,
+    dtype: str = "fp16_t",
+    gpu: str = "a100",
+    max_sparsity: float = 0.95,
+    tolerance: float = 0.01,
+    max_iterations: int = 12,
+) -> CapPlan:
+    """Binary-search the smallest magnitude-pruning sparsity meeting the cap.
+
+    Power decreases monotonically with sparsity for unsorted inputs (T12),
+    so bisection converges; if even ``max_sparsity`` cannot meet the cap the
+    plan is marked infeasible and carries the best (most sparse) attempt.
+    """
+    if power_cap_watts <= 0:
+        raise OptimizationError(f"power cap must be positive, got {power_cap_watts}")
+    if not 0.0 < max_sparsity <= 1.0:
+        raise OptimizationError(f"max_sparsity must be in (0, 1], got {max_sparsity}")
+    weights = np.asarray(weights, dtype=np.float64)
+    activations = np.asarray(activations, dtype=np.float64)
+
+    baseline = quick_power_estimate(activations, weights, dtype=dtype, gpu=gpu)
+
+    def evaluate(sparsity: float) -> tuple[QuickEstimate, np.ndarray]:
+        mask = magnitude_prune(weights, sparsity)
+        pruned = np.where(mask, weights, 0.0)
+        return quick_power_estimate(activations, pruned, dtype=dtype, gpu=gpu), pruned
+
+    if baseline.power_watts <= power_cap_watts:
+        return CapPlan(
+            power_cap_watts=power_cap_watts,
+            sparsity=0.0,
+            feasible=True,
+            baseline=baseline,
+            capped=baseline,
+            relative_error=0.0,
+            pruned_weights=weights.copy(),
+        )
+
+    max_estimate, max_pruned = evaluate(max_sparsity)
+    if max_estimate.power_watts > power_cap_watts:
+        denom = float(np.linalg.norm(weights)) or 1.0
+        return CapPlan(
+            power_cap_watts=power_cap_watts,
+            sparsity=max_sparsity,
+            feasible=False,
+            baseline=baseline,
+            capped=max_estimate,
+            relative_error=float(np.linalg.norm(max_pruned - weights)) / denom,
+            pruned_weights=max_pruned,
+        )
+
+    low, high = 0.0, max_sparsity
+    best_estimate, best_pruned, best_sparsity = max_estimate, max_pruned, max_sparsity
+    for _ in range(max_iterations):
+        mid = 0.5 * (low + high)
+        estimate, pruned = evaluate(mid)
+        if estimate.power_watts <= power_cap_watts:
+            best_estimate, best_pruned, best_sparsity = estimate, pruned, mid
+            high = mid
+        else:
+            low = mid
+        if high - low <= tolerance:
+            break
+
+    denom = float(np.linalg.norm(weights)) or 1.0
+    return CapPlan(
+        power_cap_watts=power_cap_watts,
+        sparsity=float(best_sparsity),
+        feasible=True,
+        baseline=baseline,
+        capped=best_estimate,
+        relative_error=float(np.linalg.norm(best_pruned - weights)) / denom,
+        pruned_weights=best_pruned,
+    )

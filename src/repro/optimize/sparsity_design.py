@@ -1,0 +1,110 @@
+"""Power-aware sparsity design (paper §V, third direction).
+
+Given a weight matrix and a target sparsity, choose which elements to zero
+so that (a) the approximation error is small (magnitude pruning) and (b) the
+resulting GEMM draws less power.  Both unstructured and N:M structured
+patterns are supported; the N:M variant is the shape sparse tensor cores
+accelerate, so it also buys performance headroom.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.estimation import QuickEstimate, quick_power_estimate
+
+__all__ = ["SparsityDesign", "design_sparsity", "magnitude_prune", "structured_prune"]
+
+
+@dataclass(frozen=True)
+class SparsityDesign:
+    """A concrete sparsity choice and its predicted consequences."""
+
+    sparsity: float
+    structured: tuple[int, int] | None
+    pruned_weights: np.ndarray
+    mask: np.ndarray
+    relative_error: float
+    baseline: QuickEstimate
+    pruned: QuickEstimate
+
+    @property
+    def power_reduction_watts(self) -> float:
+        return self.baseline.power_watts - self.pruned.power_watts
+
+    @property
+    def power_reduction_fraction(self) -> float:
+        if self.baseline.power_watts <= 0:
+            return 0.0
+        return self.power_reduction_watts / self.baseline.power_watts
+
+    @property
+    def achieved_sparsity(self) -> float:
+        return float(1.0 - self.mask.mean())
+
+
+def magnitude_prune(weights: np.ndarray, sparsity: float) -> np.ndarray:
+    """Boolean keep-mask zeroing the smallest-magnitude fraction of weights."""
+    if not 0.0 <= sparsity <= 1.0:
+        raise OptimizationError(f"sparsity must be in [0, 1], got {sparsity}")
+    arr = np.asarray(weights, dtype=np.float64)
+    mask = np.ones(arr.shape, dtype=bool)
+    count = int(round(sparsity * arr.size))
+    if count == 0:
+        return mask
+    if count >= arr.size:
+        return np.zeros(arr.shape, dtype=bool)
+    threshold_index = np.argsort(np.abs(arr), axis=None)[:count]
+    mask.flat[threshold_index] = False
+    return mask
+
+
+def structured_prune(weights: np.ndarray, n: int, m: int) -> np.ndarray:
+    """Boolean keep-mask implementing N:M structured sparsity along rows."""
+    if m < 1 or n < 0 or n > m:
+        raise OptimizationError(f"invalid N:M spec {n}:{m}")
+    arr = np.asarray(weights, dtype=np.float64)
+    rows, cols = arr.shape
+    if cols % m != 0:
+        raise OptimizationError(f"matrix width {cols} not divisible by group size {m}")
+    groups = np.abs(arr).reshape(rows, cols // m, m)
+    order = np.argsort(groups, axis=-1)
+    keep = np.zeros(groups.shape, dtype=bool)
+    np.put_along_axis(keep, order[..., m - n:], True, axis=-1)
+    return keep.reshape(rows, cols)
+
+
+def design_sparsity(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    sparsity: float,
+    structured: tuple[int, int] | None = None,
+    dtype: str = "fp16_t",
+    gpu: str = "a100",
+) -> SparsityDesign:
+    """Produce a pruned weight matrix and its predicted power/error profile."""
+    weights = np.asarray(weights, dtype=np.float64)
+    activations = np.asarray(activations, dtype=np.float64)
+    if structured is not None:
+        mask = structured_prune(weights, structured[0], structured[1])
+    else:
+        mask = magnitude_prune(weights, sparsity)
+    pruned = np.where(mask, weights, 0.0)
+
+    denom = float(np.linalg.norm(weights)) or 1.0
+    relative_error = float(np.linalg.norm(pruned - weights)) / denom
+
+    baseline = quick_power_estimate(activations, weights, dtype=dtype, gpu=gpu)
+    estimate = quick_power_estimate(activations, pruned, dtype=dtype, gpu=gpu)
+    return SparsityDesign(
+        sparsity=float(sparsity),
+        structured=structured,
+        pruned_weights=pruned,
+        mask=mask,
+        relative_error=relative_error,
+        baseline=baseline,
+        pruned=estimate,
+    )

@@ -1,0 +1,98 @@
+"""Weight mean-shifting for power reduction (paper §V, first direction).
+
+The paper observes (T2) that Gaussian inputs with a larger mean draw less
+power because their exponents and high mantissa bits become identical.  For
+a model that can tolerate an affine transformation of a weight matrix (the
+shift can be folded into the following bias / normalization in many
+architectures), shifting the weights toward a larger common mean reduces
+GEMM power.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import OptimizationError
+from repro.optimize.estimation import QuickEstimate, quick_power_estimate
+
+__all__ = ["WeightShiftResult", "shift_weights_for_power", "candidate_shifts"]
+
+
+@dataclass(frozen=True)
+class WeightShiftResult:
+    """Outcome of a weight-shift search."""
+
+    shift: float
+    baseline: QuickEstimate
+    shifted: QuickEstimate
+    shifted_weights: np.ndarray
+
+    @property
+    def power_reduction_watts(self) -> float:
+        return self.baseline.power_watts - self.shifted.power_watts
+
+    @property
+    def power_reduction_fraction(self) -> float:
+        if self.baseline.power_watts <= 0:
+            return 0.0
+        return self.power_reduction_watts / self.baseline.power_watts
+
+
+def candidate_shifts(weights: np.ndarray, count: int = 6) -> list[float]:
+    """Candidate mean shifts: powers of two above the weight scale.
+
+    Shifts well above the weight standard deviation freeze the exponent bits
+    of the shifted values; shifting by too much loses relative precision, so
+    candidates stop a few binades above the scale.
+    """
+    if count < 1:
+        raise OptimizationError(f"count must be >= 1, got {count}")
+    scale = float(np.abs(weights).std()) or 1.0
+    start = int(np.ceil(np.log2(scale))) + 2
+    return [float(2.0 ** (start + i)) for i in range(count)]
+
+
+def shift_weights_for_power(
+    activations: np.ndarray,
+    weights: np.ndarray,
+    dtype: str = "fp16_t",
+    gpu: str = "a100",
+    shifts: list[float] | None = None,
+    max_relative_error: float = 0.05,
+) -> WeightShiftResult:
+    """Pick the weight shift that minimizes GEMM power within an error budget.
+
+    ``max_relative_error`` bounds the quantization error introduced by
+    representing the shifted weights in ``dtype`` (relative Frobenius error
+    of the shifted-then-unshifted weights versus the originals).
+    """
+    from repro.dtypes.registry import get_dtype
+
+    weights = np.asarray(weights, dtype=np.float64)
+    activations = np.asarray(activations, dtype=np.float64)
+    spec = get_dtype(dtype)
+
+    baseline = quick_power_estimate(activations, weights, dtype=dtype, gpu=gpu)
+    best: WeightShiftResult | None = None
+    for shift in shifts if shifts is not None else candidate_shifts(weights):
+        shifted = weights + shift
+        # Quantization error introduced by storing the shifted weights.
+        recovered = spec.quantize(shifted) - shift
+        denom = float(np.linalg.norm(weights)) or 1.0
+        relative_error = float(np.linalg.norm(recovered - weights)) / denom
+        if relative_error > max_relative_error:
+            continue
+        estimate = quick_power_estimate(activations, shifted, dtype=dtype, gpu=gpu)
+        result = WeightShiftResult(
+            shift=float(shift), baseline=baseline, shifted=estimate, shifted_weights=shifted
+        )
+        if best is None or estimate.power_watts < best.shifted.power_watts:
+            best = result
+    if best is None:
+        # No candidate met the error budget: report the identity shift.
+        best = WeightShiftResult(
+            shift=0.0, baseline=baseline, shifted=baseline, shifted_weights=weights.copy()
+        )
+    return best

@@ -1,0 +1,61 @@
+"""Input pattern generators and transforms.
+
+This package generates every input variation studied in the paper: value
+distributions (Gaussian mean/std sweeps, small value sets), bit similarity
+(constant fills with random bit flips, randomized LSBs/MSBs), placement
+(partial sorting into rows/columns, intra-row sorting), and sparsity
+(random zeros, sparsity after sorting, zeroed LSBs/MSBs).
+"""
+
+from repro.patterns.base import Pattern, Transform, TransformedPattern
+from repro.patterns.bitsim import (
+    RandomBitFlipTransform,
+    RandomizeHighBitsTransform,
+    RandomizeLowBitsTransform,
+)
+from repro.patterns.distribution import (
+    ConstantPattern,
+    ConstantRandomPattern,
+    GaussianPattern,
+    UniformPattern,
+    ValueSetPattern,
+)
+from repro.patterns.placement import PartialSortTransform, sort_columns, sort_rows, sort_within_rows
+from repro.patterns.sparsity import (
+    SparsityTransform,
+    StructuredSparsityTransform,
+    ZeroHighBitsTransform,
+    ZeroLowBitsTransform,
+)
+from repro.patterns.library import (
+    PATTERN_FAMILIES,
+    build_pattern,
+    list_patterns,
+    paper_base_pattern,
+)
+
+__all__ = [
+    "Pattern",
+    "Transform",
+    "TransformedPattern",
+    "GaussianPattern",
+    "ConstantPattern",
+    "ConstantRandomPattern",
+    "UniformPattern",
+    "ValueSetPattern",
+    "RandomBitFlipTransform",
+    "RandomizeLowBitsTransform",
+    "RandomizeHighBitsTransform",
+    "PartialSortTransform",
+    "sort_rows",
+    "sort_columns",
+    "sort_within_rows",
+    "SparsityTransform",
+    "StructuredSparsityTransform",
+    "ZeroLowBitsTransform",
+    "ZeroHighBitsTransform",
+    "PATTERN_FAMILIES",
+    "build_pattern",
+    "list_patterns",
+    "paper_base_pattern",
+]

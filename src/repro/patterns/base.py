@@ -1,0 +1,128 @@
+"""Pattern and transform abstractions.
+
+A :class:`Pattern` produces a matrix of values that are exactly
+representable in a target datatype.  A :class:`Transform` rewrites such a
+matrix (sorting it, sparsifying it, flipping bits, ...) while keeping it
+representable.  :class:`TransformedPattern` composes a base pattern with a
+sequence of transforms; that composition is how every experiment in the
+paper is expressed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Sequence
+
+import numpy as np
+
+from repro.dtypes.base import DTypeSpec
+from repro.dtypes.registry import get_dtype
+from repro.errors import PatternError
+
+__all__ = ["Pattern", "Transform", "TransformedPattern"]
+
+
+class Pattern(ABC):
+    """Generates matrices of datatype-representable values."""
+
+    #: human-readable identifier used in experiment configs and reports
+    name: str = "pattern"
+
+    @abstractmethod
+    def _raw_values(
+        self, shape: tuple[int, int], dtype: DTypeSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Produce raw ``float64`` values before quantization."""
+
+    def generate(
+        self,
+        shape: tuple[int, int],
+        dtype: "str | DTypeSpec",
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Generate a ``float64`` matrix whose values are representable in ``dtype``."""
+        spec = get_dtype(dtype)
+        if len(shape) != 2 or shape[0] <= 0 or shape[1] <= 0:
+            raise PatternError(f"shape must be a positive 2-tuple, got {shape!r}")
+        values = self._raw_values((int(shape[0]), int(shape[1])), spec, rng)
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape != tuple(shape):
+            raise PatternError(
+                f"pattern {self.name!r} produced shape {values.shape}, expected {tuple(shape)}"
+            )
+        return spec.quantize(values)
+
+    def describe(self) -> dict[str, object]:
+        """Return a JSON-serializable description of the pattern."""
+        return {"name": self.name}
+
+    def with_transforms(self, *transforms: "Transform") -> "TransformedPattern":
+        """Return a new pattern that applies ``transforms`` after this one."""
+        return TransformedPattern(self, transforms)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class Transform(ABC):
+    """Rewrites a matrix of datatype-representable values."""
+
+    name: str = "transform"
+
+    @abstractmethod
+    def apply(
+        self, values: np.ndarray, dtype: DTypeSpec, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return a transformed copy of ``values`` (still representable in ``dtype``)."""
+
+    def describe(self) -> dict[str, object]:
+        return {"name": self.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()!r}>"
+
+
+class TransformedPattern(Pattern):
+    """A base pattern followed by an ordered sequence of transforms."""
+
+    def __init__(self, base: Pattern, transforms: Sequence[Transform]) -> None:
+        if not isinstance(base, Pattern):
+            raise PatternError(f"base must be a Pattern, got {type(base).__name__}")
+        self.base = base
+        self.transforms = tuple(transforms)
+        for transform in self.transforms:
+            if not isinstance(transform, Transform):
+                raise PatternError(
+                    f"transforms must be Transform instances, got {type(transform).__name__}"
+                )
+        suffix = "+".join(t.name for t in self.transforms)
+        self.name = f"{base.name}+{suffix}" if suffix else base.name
+
+    def _raw_values(
+        self, shape: tuple[int, int], dtype: DTypeSpec, rng: np.random.Generator
+    ) -> np.ndarray:  # pragma: no cover - generate() is overridden
+        return self.base._raw_values(shape, dtype, rng)
+
+    def generate(
+        self,
+        shape: tuple[int, int],
+        dtype: "str | DTypeSpec",
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        spec = get_dtype(dtype)
+        values = self.base.generate(shape, spec, rng)
+        for transform in self.transforms:
+            values = transform.apply(values, spec, rng)
+            values = np.asarray(values, dtype=np.float64)
+            if values.shape != tuple(shape):
+                raise PatternError(
+                    f"transform {transform.name!r} changed shape to {values.shape}"
+                )
+        return values
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "base": self.base.describe(),
+            "transforms": [t.describe() for t in self.transforms],
+        }

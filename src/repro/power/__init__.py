@@ -1,0 +1,30 @@
+"""GPU power model: calibration, component weighting, estimation, energy.
+
+The model maps a device + datatype + switching-activity report to a power
+draw in watts:
+
+``P = P_idle + U * [ P_base(dtype) + P_data(dtype) * A ]``
+
+where ``U`` is SM-array utilization, ``A`` is the weighted activity factor
+from :mod:`repro.activity` (≈1 for random bits, ≈0 for all-zero operands),
+``P_base`` covers data-independent dynamic power (clocks, scheduling,
+instruction issue) and ``P_data`` is the data-dependent switching budget.
+A TDP throttling loop converts the unconstrained estimate into the power and
+clock the GPU would actually settle at.
+"""
+
+from repro.power.calibration import DTypePowerProfile, PowerCalibration
+from repro.power.components import ComponentWeights, PowerComponents
+from repro.power.energy import EnergyEstimate, energy_joules
+from repro.power.model import PowerEstimate, PowerModel
+
+__all__ = [
+    "PowerCalibration",
+    "DTypePowerProfile",
+    "PowerComponents",
+    "ComponentWeights",
+    "PowerModel",
+    "PowerEstimate",
+    "EnergyEstimate",
+    "energy_joules",
+]

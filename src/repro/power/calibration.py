@@ -1,0 +1,106 @@
+"""Per-device, per-datatype power calibration.
+
+Each datatype exercises the chip differently: the FP16 tensor-core path
+(the default for AI workloads, and the paper's most power-hungry setup, T7)
+keeps the widest datapath busy and pushes the device close to its TDP,
+while the INT8 CUDA-core path leaves much of the machine idle.  Calibration
+expresses this as the fraction of the device's dynamic headroom
+(TDP - idle) that a datatype's GEMM kernel can engage; the device spec's
+``data_dependent_fraction`` then splits that budget into a data-independent
+base and the input-dependent switching budget this paper is about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dtypes.registry import get_dtype
+from repro.errors import PowerModelError
+from repro.gpu.device import Device
+from repro.gpu.specs import GPUSpec
+from repro.power.components import ComponentWeights, PowerComponents
+
+__all__ = ["DTypePowerProfile", "PowerCalibration", "DEFAULT_DTYPE_PROFILES"]
+
+
+@dataclass(frozen=True)
+class DTypePowerProfile:
+    """How strongly one datatype's GEMM path engages the device."""
+
+    #: fraction of (TDP - idle) the kernel can draw at full activity
+    headroom_fraction: float
+    #: optional override of the device-level data-dependent fraction
+    data_dependent_fraction: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.headroom_fraction <= 1.2:
+            raise PowerModelError(
+                f"headroom_fraction must be in (0, 1.2], got {self.headroom_fraction}"
+            )
+        if self.data_dependent_fraction is not None and not (
+            0.0 < self.data_dependent_fraction < 1.0
+        ):
+            raise PowerModelError(
+                "data_dependent_fraction override must be in (0, 1), "
+                f"got {self.data_dependent_fraction}"
+            )
+
+
+#: Default per-datatype engagement profiles (shared across devices).  The
+#: ordering fp16_t > fp32 > fp16 > int8 reproduces the datatype power
+#: ranking visible throughout the paper's Figure 4 (T7).
+DEFAULT_DTYPE_PROFILES: dict[str, DTypePowerProfile] = {
+    "fp16_t": DTypePowerProfile(headroom_fraction=0.98),
+    "bf16": DTypePowerProfile(headroom_fraction=0.96),
+    "fp64": DTypePowerProfile(headroom_fraction=0.88),
+    "fp32": DTypePowerProfile(headroom_fraction=0.80),
+    "fp16": DTypePowerProfile(headroom_fraction=0.70),
+    "int8": DTypePowerProfile(headroom_fraction=0.60),
+    "int32": DTypePowerProfile(headroom_fraction=0.58),
+}
+
+
+class PowerCalibration:
+    """Resolves :class:`PowerComponents` for device + datatype combinations."""
+
+    def __init__(
+        self,
+        profiles: dict[str, DTypePowerProfile] | None = None,
+        weights: ComponentWeights | None = None,
+    ) -> None:
+        self.profiles = dict(DEFAULT_DTYPE_PROFILES)
+        if profiles:
+            self.profiles.update(profiles)
+        self.weights = weights or ComponentWeights()
+
+    def profile(self, dtype: str) -> DTypePowerProfile:
+        name = get_dtype(dtype).name
+        try:
+            return self.profiles[name]
+        except KeyError:
+            raise PowerModelError(f"no power profile calibrated for dtype {name!r}") from None
+
+    def components(self, device: "Device | GPUSpec", dtype: str) -> PowerComponents:
+        """Return the absolute power budget for a device + datatype pair."""
+        spec = device.spec if isinstance(device, Device) else device
+        profile = self.profile(dtype)
+        headroom = max(spec.tdp_watts - spec.idle_watts, 0.0)
+        if headroom <= 0:
+            raise PowerModelError(
+                f"{spec.name}: TDP ({spec.tdp_watts} W) must exceed idle power "
+                f"({spec.idle_watts} W)"
+            )
+        dynamic_max = headroom * profile.headroom_fraction
+        data_fraction = (
+            profile.data_dependent_fraction
+            if profile.data_dependent_fraction is not None
+            else spec.data_dependent_fraction
+        )
+        data_watts = dynamic_max * data_fraction
+        base_watts = dynamic_max - data_watts
+        return PowerComponents(
+            idle_watts=spec.idle_watts,
+            base_active_watts=base_watts,
+            data_dependent_watts=data_watts,
+            weights=self.weights,
+        )

@@ -1,0 +1,89 @@
+"""Power component definitions and datapath weighting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PowerModelError
+
+__all__ = ["ComponentWeights", "PowerComponents"]
+
+
+@dataclass(frozen=True)
+class ComponentWeights:
+    """Relative share of the data-dependent power budget per datapath component.
+
+    The defaults follow the architectural intuition spelled out in
+    DESIGN.md: switching on the operand-delivery and product/accumulator
+    paths (transition driven) carries slightly more of the data-dependent
+    budget than the multiplier array's partial-product density (Hamming
+    driven), with the memory interface carrying the rest.  The weights are
+    normalized internally, so only their ratios matter.
+    """
+
+    operand: float = 0.30
+    multiplier: float = 0.22
+    datapath: float = 0.28
+    memory: float = 0.20
+
+    def __post_init__(self) -> None:
+        for name, value in self.as_dict().items():
+            if value < 0:
+                raise PowerModelError(f"weight {name!r} must be non-negative, got {value}")
+        if self.total() <= 0:
+            raise PowerModelError("component weights must sum to a positive value")
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "operand": self.operand,
+            "multiplier": self.multiplier,
+            "datapath": self.datapath,
+            "memory": self.memory,
+        }
+
+    def total(self) -> float:
+        return self.operand + self.multiplier + self.datapath + self.memory
+
+    def normalized(self) -> dict[str, float]:
+        total = self.total()
+        return {name: value / total for name, value in self.as_dict().items()}
+
+    def without(self, component: str) -> "ComponentWeights":
+        """Return a copy with one component's weight zeroed (for ablations)."""
+        values = self.as_dict()
+        if component not in values:
+            raise PowerModelError(
+                f"unknown component {component!r}; expected one of {sorted(values)}"
+            )
+        values[component] = 0.0
+        return ComponentWeights(**values)
+
+
+@dataclass(frozen=True)
+class PowerComponents:
+    """Absolute power budget (watts) of one device + datatype combination."""
+
+    idle_watts: float
+    base_active_watts: float
+    data_dependent_watts: float
+    weights: ComponentWeights = field(default_factory=ComponentWeights)
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.base_active_watts < 0 or self.data_dependent_watts < 0:
+            raise PowerModelError("power components must be non-negative")
+
+    @property
+    def max_active_watts(self) -> float:
+        """Dynamic power at full utilization and activity factor 1.0."""
+        return self.base_active_watts + self.data_dependent_watts
+
+    @property
+    def max_total_watts(self) -> float:
+        return self.idle_watts + self.max_active_watts
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "idle_watts": self.idle_watts,
+            "base_active_watts": self.base_active_watts,
+            "data_dependent_watts": self.data_dependent_watts,
+        }

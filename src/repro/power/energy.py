@@ -1,0 +1,56 @@
+"""Energy accounting helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+
+__all__ = ["energy_joules", "EnergyEstimate"]
+
+
+def energy_joules(power_watts: float, duration_s: float) -> float:
+    """Energy consumed at constant power over a duration."""
+    if power_watts < 0:
+        raise PowerModelError(f"power must be non-negative, got {power_watts}")
+    if duration_s < 0:
+        raise PowerModelError(f"duration must be non-negative, got {duration_s}")
+    return power_watts * duration_s
+
+
+@dataclass(frozen=True)
+class EnergyEstimate:
+    """Energy of one kernel iteration and of a whole run."""
+
+    power_watts: float
+    iteration_time_s: float
+    iterations: int
+
+    def __post_init__(self) -> None:
+        if self.iterations < 0:
+            raise PowerModelError(f"iterations must be non-negative, got {self.iterations}")
+
+    @property
+    def iteration_energy_j(self) -> float:
+        """Energy per GEMM iteration (what Figure 2 reports, in joules)."""
+        return energy_joules(self.power_watts, self.iteration_time_s)
+
+    @property
+    def iteration_energy_mj(self) -> float:
+        """Energy per iteration in millijoules."""
+        return self.iteration_energy_j * 1e3
+
+    @property
+    def total_energy_j(self) -> float:
+        return self.iteration_energy_j * self.iterations
+
+    @property
+    def total_duration_s(self) -> float:
+        return self.iteration_time_s * self.iterations
+
+    def efficiency_flops_per_joule(self, flops_per_iteration: float) -> float:
+        """Useful work per joule (higher is better)."""
+        energy = self.iteration_energy_j
+        if energy <= 0:
+            raise PowerModelError("iteration energy must be positive to compute efficiency")
+        return flops_per_iteration / energy

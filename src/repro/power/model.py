@@ -1,0 +1,133 @@
+"""The GPU power model.
+
+``PowerModel.estimate`` combines a kernel launch plan (shapes, occupancy),
+a switching-activity report and the device calibration into a steady-state
+power figure, resolving TDP throttling through the device's clock model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.activity.report import ActivityReport
+from repro.errors import PowerModelError
+from repro.gpu.device import Device
+from repro.kernels.launch import KernelLaunch
+from repro.power.calibration import PowerCalibration
+from repro.power.components import ComponentWeights, PowerComponents
+
+__all__ = ["PowerEstimate", "PowerModel", "MAX_ACTIVITY_FACTOR"]
+
+#: Activity factors are clipped to this ceiling: pathological inputs (e.g.
+#: fully random MSBs on top of random LSBs) cannot toggle more bits than the
+#: datapath has.
+MAX_ACTIVITY_FACTOR = 1.15
+
+
+@dataclass(frozen=True)
+class PowerEstimate:
+    """Steady-state power of one kernel on one device instance."""
+
+    watts: float
+    unconstrained_watts: float
+    clock_scale: float
+    throttled: bool
+    activity_factor: float
+    utilization: float
+    idle_watts: float
+    base_active_watts: float
+    data_dependent_watts: float
+    process_variation_watts: float
+    component_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Power above idle actually drawn."""
+        return self.watts - self.idle_watts - self.process_variation_watts
+
+
+class PowerModel:
+    """Maps (device, launch, activity) to watts."""
+
+    def __init__(
+        self,
+        device: Device,
+        calibration: PowerCalibration | None = None,
+        weights: ComponentWeights | None = None,
+    ) -> None:
+        self.device = device
+        self.calibration = calibration or PowerCalibration(weights=weights)
+        if weights is not None:
+            # Explicit weights take precedence over whatever the calibration holds.
+            self.calibration.weights = weights
+
+    # ------------------------------------------------------------------ API
+
+    def components(self, dtype: str) -> PowerComponents:
+        """Absolute power budget of ``dtype`` on this device."""
+        return self.calibration.components(self.device, dtype)
+
+    def activity_factor(self, activity: ActivityReport) -> float:
+        """Weighted, clipped activity factor in [0, MAX_ACTIVITY_FACTOR]."""
+        weighted = activity.weighted_activity(self.calibration.weights.normalized())
+        return float(min(max(weighted, 0.0), MAX_ACTIVITY_FACTOR))
+
+    def estimate(
+        self,
+        launch: KernelLaunch,
+        activity: ActivityReport,
+        power_limit_watts: float | None = None,
+        include_process_variation: bool = True,
+    ) -> PowerEstimate:
+        """Estimate steady-state power for a launch with the given activity."""
+        problem = launch.problem
+        if activity.dtype not in ("unknown", problem.dtype):
+            raise PowerModelError(
+                f"activity report is for dtype {activity.dtype!r} but the launch "
+                f"uses {problem.dtype!r}"
+            )
+        components = self.components(problem.dtype)
+        utilization = launch.occupancy
+        factor = self.activity_factor(activity)
+
+        base = components.base_active_watts * utilization
+        data = components.data_dependent_watts * utilization * factor
+        dynamic = base + data
+
+        throttle = self.device.clock_model.resolve_throttle(
+            idle_watts=components.idle_watts,
+            dynamic_watts=dynamic,
+            power_limit_watts=power_limit_watts,
+        )
+
+        variation = self.device.process_variation_watts() if include_process_variation else 0.0
+        watts = throttle.constrained_power_watts + variation
+        unconstrained = throttle.unconstrained_power_watts + variation
+
+        # Per-component share of the data-dependent draw (for ablation reports).
+        normalized = self.calibration.weights.normalized()
+        breakdown = {
+            name: components.data_dependent_watts
+            * utilization
+            * normalized[name]
+            * min(activity.component_activity(name), MAX_ACTIVITY_FACTOR)
+            for name in normalized
+        }
+
+        return PowerEstimate(
+            watts=watts,
+            unconstrained_watts=unconstrained,
+            clock_scale=throttle.clock_scale,
+            throttled=throttle.throttled,
+            activity_factor=factor,
+            utilization=utilization,
+            idle_watts=components.idle_watts,
+            base_active_watts=base,
+            data_dependent_watts=data,
+            process_variation_watts=variation,
+            component_breakdown=breakdown,
+        )
+
+    def idle_estimate(self) -> float:
+        """Idle power of the device instance (including process variation)."""
+        return self.device.idle_watts + self.device.process_variation_watts()

@@ -1,0 +1,19 @@
+"""Kernel runtime (performance) model.
+
+Iteration runtime is needed twice: Figure 1 reports it directly, and the
+energy numbers of Figure 2 are power x runtime.  The paper observes that
+runtime is *input independent* (microsecond-level consistent across all
+experiments for a given datatype) — the model reproduces that property by
+construction, because runtime depends only on shapes, datatype and device.
+"""
+
+from repro.runtime.model import RuntimeEstimate, RuntimeModel
+from repro.runtime.roofline import compute_bound_time_s, memory_bound_time_s, roofline_time_s
+
+__all__ = [
+    "RuntimeModel",
+    "RuntimeEstimate",
+    "compute_bound_time_s",
+    "memory_bound_time_s",
+    "roofline_time_s",
+]

@@ -1,0 +1,87 @@
+"""Per-kernel runtime model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.kernels.launch import KernelLaunch
+from repro.runtime.roofline import compute_bound_time_s, memory_bound_time_s, roofline_time_s
+
+__all__ = ["RuntimeEstimate", "RuntimeModel"]
+
+#: Achievable fraction of peak throughput for a well-tuned large square GEMM,
+#: by execution path.  Tensor-core pipelines typically sustain a slightly
+#: lower fraction of their (much higher) peak than plain FMA pipelines.
+_DEFAULT_EFFICIENCY = {
+    "fp64": 0.90,
+    "fp32": 0.90,
+    "fp16": 0.88,
+    "fp16_t": 0.82,
+    "bf16": 0.82,
+    "int8": 0.85,
+    "int32": 0.85,
+}
+
+#: Fixed per-kernel launch overhead (driver + grid launch), seconds.
+KERNEL_LAUNCH_OVERHEAD_S = 4e-6
+
+
+@dataclass(frozen=True)
+class RuntimeEstimate:
+    """Runtime breakdown of one kernel iteration."""
+
+    iteration_time_s: float
+    compute_time_s: float
+    memory_time_s: float
+    launch_overhead_s: float
+    compute_bound: bool
+    clock_scale: float
+
+    @property
+    def iteration_time_us(self) -> float:
+        return self.iteration_time_s * 1e6
+
+
+class RuntimeModel:
+    """Roofline-style runtime model with clock-scale (throttling) support."""
+
+    def __init__(self, efficiency_overrides: dict[str, float] | None = None) -> None:
+        self.efficiency = dict(_DEFAULT_EFFICIENCY)
+        if efficiency_overrides:
+            for dtype, value in efficiency_overrides.items():
+                if not 0.0 < value <= 1.0:
+                    raise PowerModelError(
+                        f"efficiency for {dtype!r} must be in (0, 1], got {value}"
+                    )
+                self.efficiency[dtype] = value
+
+    def dtype_efficiency(self, dtype: str) -> float:
+        return self.efficiency.get(dtype, 0.85)
+
+    def estimate(self, launch: KernelLaunch, clock_scale: float = 1.0) -> RuntimeEstimate:
+        """Estimate the runtime of one kernel iteration.
+
+        ``clock_scale`` lowers the SM clock (DVFS/throttling); compute time
+        scales inversely with it, memory time is unaffected.
+        """
+        if not 0.0 < clock_scale <= 1.0:
+            raise PowerModelError(f"clock_scale must be in (0, 1], got {clock_scale}")
+        problem = launch.problem
+        device = launch.device
+        peak = device.peak_throughput_flops(problem.dtype) * launch.occupancy
+        efficiency = self.dtype_efficiency(problem.dtype)
+        compute = compute_bound_time_s(launch.flops, peak, efficiency) / clock_scale
+        memory = memory_bound_time_s(
+            launch.dram_traffic_bytes, device.memory.effective_bandwidth
+        )
+        body = roofline_time_s(compute, memory, overlap=0.95)
+        total = body + KERNEL_LAUNCH_OVERHEAD_S
+        return RuntimeEstimate(
+            iteration_time_s=total,
+            compute_time_s=compute,
+            memory_time_s=memory,
+            launch_overhead_s=KERNEL_LAUNCH_OVERHEAD_S,
+            compute_bound=compute >= memory,
+            clock_scale=clock_scale,
+        )

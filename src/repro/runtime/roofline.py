@@ -1,0 +1,40 @@
+"""Roofline building blocks: compute-bound and memory-bound times."""
+
+from __future__ import annotations
+
+from repro.errors import PowerModelError
+
+__all__ = ["compute_bound_time_s", "memory_bound_time_s", "roofline_time_s"]
+
+
+def compute_bound_time_s(flops: float, peak_flops_per_s: float, efficiency: float = 1.0) -> float:
+    """Time to execute ``flops`` at ``efficiency`` of the peak throughput."""
+    if flops < 0:
+        raise PowerModelError(f"flops must be non-negative, got {flops}")
+    if peak_flops_per_s <= 0:
+        raise PowerModelError(f"peak throughput must be positive, got {peak_flops_per_s}")
+    if not 0.0 < efficiency <= 1.0:
+        raise PowerModelError(f"efficiency must be in (0, 1], got {efficiency}")
+    return flops / (peak_flops_per_s * efficiency)
+
+
+def memory_bound_time_s(traffic_bytes: float, bandwidth_bytes_per_s: float) -> float:
+    """Time to move ``traffic_bytes`` at the given effective bandwidth."""
+    if traffic_bytes < 0:
+        raise PowerModelError(f"traffic must be non-negative, got {traffic_bytes}")
+    if bandwidth_bytes_per_s <= 0:
+        raise PowerModelError(f"bandwidth must be positive, got {bandwidth_bytes_per_s}")
+    return traffic_bytes / bandwidth_bytes_per_s
+
+
+def roofline_time_s(compute_time_s: float, memory_time_s: float, overlap: float = 1.0) -> float:
+    """Combine compute and memory time.
+
+    ``overlap = 1.0`` models perfect overlap (the classical roofline max);
+    ``overlap = 0.0`` models fully serialized compute and memory phases.
+    """
+    if not 0.0 <= overlap <= 1.0:
+        raise PowerModelError(f"overlap must be in [0, 1], got {overlap}")
+    overlapped = max(compute_time_s, memory_time_s)
+    serialized = compute_time_s + memory_time_s
+    return overlap * overlapped + (1.0 - overlap) * serialized

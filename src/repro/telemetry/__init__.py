@@ -1,0 +1,26 @@
+"""Simulated GPU telemetry (NVML / DCGM).
+
+The paper measures power with NVIDIA DCGM command-line tools at a 100 ms
+period and trims the first 500 ms of samples as warmup.  Real NVML/DCGM is
+unavailable without the hardware, so this package provides behaviourally
+faithful substitutes: a power-trace simulator with warmup ramp and sensor
+noise, a ``pynvml``-style API facade, and a DCGM-style field monitor.  The
+measurement harness in :mod:`repro.experiments` is written against these
+interfaces exactly as the paper's harness is written against the real ones.
+"""
+
+from repro.telemetry.dcgm import DcgmMonitor, DCGM_FI_DEV_POWER_USAGE, DCGM_FI_DEV_GPU_UTIL
+from repro.telemetry.nvml import SimulatedNVML, NVMLDeviceHandle
+from repro.telemetry.sampler import TelemetryConfig, simulate_power_trace
+from repro.telemetry.trace import PowerTrace
+
+__all__ = [
+    "PowerTrace",
+    "TelemetryConfig",
+    "simulate_power_trace",
+    "SimulatedNVML",
+    "NVMLDeviceHandle",
+    "DcgmMonitor",
+    "DCGM_FI_DEV_POWER_USAGE",
+    "DCGM_FI_DEV_GPU_UTIL",
+]

@@ -1,0 +1,103 @@
+"""DCGM-style field monitor.
+
+Mimics ``dcgmi dmon -e 155,203 -d 100``: a monitor watches a set of field
+identifiers on one device at a fixed period and produces tabular records.
+The harness uses it to obtain the 100 ms power trace the paper collects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import TelemetryError
+from repro.gpu.device import Device
+from repro.telemetry.sampler import TelemetryConfig, simulate_power_trace
+from repro.telemetry.trace import PowerTrace
+
+__all__ = [
+    "DCGM_FI_DEV_POWER_USAGE",
+    "DCGM_FI_DEV_GPU_UTIL",
+    "DcgmRecord",
+    "DcgmMonitor",
+]
+
+#: DCGM field identifiers (matching NVIDIA's numbering for the fields used).
+DCGM_FI_DEV_POWER_USAGE = 155
+DCGM_FI_DEV_GPU_UTIL = 203
+
+_SUPPORTED_FIELDS = {DCGM_FI_DEV_POWER_USAGE, DCGM_FI_DEV_GPU_UTIL}
+
+
+@dataclass(frozen=True)
+class DcgmRecord:
+    """One monitoring sample."""
+
+    timestamp_s: float
+    fields: dict[int, float] = field(default_factory=dict)
+
+    def value(self, field_id: int) -> float:
+        try:
+            return self.fields[field_id]
+        except KeyError:
+            raise TelemetryError(f"field {field_id} not present in record") from None
+
+
+class DcgmMonitor:
+    """Watches a simulated device while a kernel loop runs."""
+
+    def __init__(
+        self,
+        device: Device,
+        field_ids: tuple[int, ...] = (DCGM_FI_DEV_POWER_USAGE, DCGM_FI_DEV_GPU_UTIL),
+        config: TelemetryConfig | None = None,
+    ) -> None:
+        unknown = set(field_ids) - _SUPPORTED_FIELDS
+        if unknown:
+            raise TelemetryError(f"unsupported DCGM field ids: {sorted(unknown)}")
+        if not field_ids:
+            raise TelemetryError("at least one field id must be watched")
+        self.device = device
+        self.field_ids = tuple(field_ids)
+        self.config = config or TelemetryConfig()
+
+    def watch_run(
+        self,
+        steady_power_watts: float,
+        duration_s: float,
+        utilization_percent: float = 98.5,
+        seed: int = 0,
+    ) -> list[DcgmRecord]:
+        """Monitor a kernel loop with the given steady power and duration."""
+        trace = self.power_trace(steady_power_watts, duration_s, seed=seed)
+        records = []
+        for t, p in zip(trace.timestamps_s, trace.power_watts):
+            fields: dict[int, float] = {}
+            if DCGM_FI_DEV_POWER_USAGE in self.field_ids:
+                fields[DCGM_FI_DEV_POWER_USAGE] = float(p)
+            if DCGM_FI_DEV_GPU_UTIL in self.field_ids:
+                fields[DCGM_FI_DEV_GPU_UTIL] = float(utilization_percent)
+            records.append(DcgmRecord(timestamp_s=float(t), fields=fields))
+        return records
+
+    def power_trace(
+        self, steady_power_watts: float, duration_s: float, seed: int = 0
+    ) -> PowerTrace:
+        """Return the raw power trace (what the harness consumes)."""
+        return simulate_power_trace(
+            steady_power_watts=steady_power_watts,
+            duration_s=duration_s,
+            idle_power_watts=self.device.idle_watts,
+            config=self.config,
+            seed=seed,
+        )
+
+    @staticmethod
+    def records_to_trace(records: list[DcgmRecord], sample_period_s: float) -> PowerTrace:
+        """Convert monitoring records back into a :class:`PowerTrace`."""
+        if not records:
+            raise TelemetryError("cannot build a trace from zero records")
+        times = [r.timestamp_s for r in records]
+        watts = [r.value(DCGM_FI_DEV_POWER_USAGE) for r in records]
+        return PowerTrace(
+            timestamps_s=times, power_watts=watts, sample_period_s=sample_period_s
+        )

@@ -1,0 +1,115 @@
+"""``pynvml``-style facade over simulated devices.
+
+The API mirrors the subset of NVML that power-measurement scripts use:
+initialization, device handles, instantaneous power reads (milliwatts, as
+NVML reports), utilization rates and the enforced power limit.  A "load" can
+be attached to a device to represent a running kernel; reads then return the
+load's power plus sensor noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TelemetryError
+from repro.gpu.device import Device
+from repro.util.rng import derive_rng
+
+__all__ = ["NVMLDeviceHandle", "SimulatedNVML"]
+
+
+@dataclass
+class NVMLDeviceHandle:
+    """Opaque handle returned by :meth:`SimulatedNVML.device_get_handle_by_index`."""
+
+    index: int
+    device: Device
+    #: steady-state power of whatever is currently running, or None if idle
+    load_watts: float | None = None
+    #: SM utilization of the current load, percent
+    load_utilization: float = 0.0
+
+
+class SimulatedNVML:
+    """Simulated NVML session managing one or more devices."""
+
+    def __init__(self, devices: list[Device], seed: int = 0) -> None:
+        if not devices:
+            raise TelemetryError("SimulatedNVML needs at least one device")
+        self._devices = list(devices)
+        self._handles: list[NVMLDeviceHandle] | None = None
+        self._seed = seed
+        self._read_count = 0
+
+    # ------------------------------------------------------------ lifecycle
+
+    def init(self) -> None:
+        """``nvmlInit``: create device handles."""
+        self._handles = [
+            NVMLDeviceHandle(index=i, device=dev) for i, dev in enumerate(self._devices)
+        ]
+
+    def shutdown(self) -> None:
+        """``nvmlShutdown``: drop handles."""
+        self._handles = None
+
+    def __enter__(self) -> "SimulatedNVML":
+        self.init()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- queries
+
+    def device_get_count(self) -> int:
+        return len(self._devices)
+
+    def device_get_handle_by_index(self, index: int) -> NVMLDeviceHandle:
+        handles = self._require_init()
+        if not 0 <= index < len(handles):
+            raise TelemetryError(f"device index {index} out of range")
+        return handles[index]
+
+    def device_get_name(self, handle: NVMLDeviceHandle) -> str:
+        return f"NVIDIA {handle.device.spec.name.upper()} (simulated)"
+
+    def device_get_power_usage(self, handle: NVMLDeviceHandle) -> int:
+        """Instantaneous power in milliwatts (NVML convention)."""
+        self._read_count += 1
+        rng = derive_rng(self._seed, "nvml_read", handle.index, self._read_count)
+        if handle.load_watts is None:
+            watts = handle.device.idle_watts + handle.device.process_variation_watts()
+        else:
+            watts = handle.load_watts
+        watts = max(watts + rng.normal(0.0, 1.2), 0.0)
+        return int(round(watts * 1000.0))
+
+    def device_get_enforced_power_limit(self, handle: NVMLDeviceHandle) -> int:
+        """Enforced power limit in milliwatts."""
+        return int(round(handle.device.tdp_watts * 1000.0))
+
+    def device_get_utilization_rates(self, handle: NVMLDeviceHandle) -> dict[str, float]:
+        """GPU/memory utilization percentages, like ``nvmlDeviceGetUtilizationRates``."""
+        gpu = handle.load_utilization if handle.load_watts is not None else 0.0
+        return {"gpu": gpu, "memory": gpu * 0.6}
+
+    # ----------------------------------------------------------- load hooks
+
+    def attach_load(
+        self, handle: NVMLDeviceHandle, power_watts: float, utilization_percent: float = 98.5
+    ) -> None:
+        """Attach a running kernel's steady power draw to a device."""
+        if power_watts < 0:
+            raise TelemetryError(f"load power must be non-negative, got {power_watts}")
+        handle.load_watts = float(power_watts)
+        handle.load_utilization = float(utilization_percent)
+
+    def detach_load(self, handle: NVMLDeviceHandle) -> None:
+        handle.load_watts = None
+        handle.load_utilization = 0.0
+
+    def _require_init(self) -> list[NVMLDeviceHandle]:
+        if self._handles is None:
+            raise TelemetryError("NVML not initialized; call init() first")
+        return self._handles

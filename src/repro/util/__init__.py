@@ -1,0 +1,41 @@
+"""Shared low-level utilities: bit manipulation, RNG, statistics, rendering."""
+
+from repro.util.bits import (
+    bit_alignment,
+    hamming_distance,
+    hamming_weight,
+    hamming_weight_fraction,
+    popcount,
+    toggle_count,
+    toggle_fraction,
+    toggle_fraction_along_axis,
+)
+from repro.util.rng import derive_rng, derive_seed, spawn_rngs
+from repro.util.stats import (
+    SummaryStats,
+    confidence_interval,
+    geometric_mean,
+    relative_change,
+    summarize,
+    trim_leading,
+)
+
+__all__ = [
+    "bit_alignment",
+    "hamming_distance",
+    "hamming_weight",
+    "hamming_weight_fraction",
+    "popcount",
+    "toggle_count",
+    "toggle_fraction",
+    "toggle_fraction_along_axis",
+    "derive_rng",
+    "derive_seed",
+    "spawn_rngs",
+    "SummaryStats",
+    "confidence_interval",
+    "geometric_mean",
+    "relative_change",
+    "summarize",
+    "trim_leading",
+]

@@ -1,0 +1,175 @@
+"""Vectorized bit-level primitives.
+
+Everything in this module operates on NumPy arrays of *unsigned integer
+words* (``uint8``/``uint16``/``uint32``/``uint64``).  Encoding values of a
+particular datatype into such words is the job of :mod:`repro.dtypes`; this
+module only counts bits.
+
+The implementations follow the HPC guidance for this project: no Python
+loops over elements, byte-table popcount, and explicit contiguity so views
+never silently copy in hot paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ActivityError
+
+__all__ = [
+    "POPCOUNT_TABLE",
+    "bit_width",
+    "popcount",
+    "hamming_weight",
+    "hamming_weight_fraction",
+    "hamming_distance",
+    "bit_alignment",
+    "toggle_count",
+    "toggle_fraction",
+    "toggle_fraction_along_axis",
+    "set_low_bits_mask",
+    "set_high_bits_mask",
+]
+
+#: Precomputed popcount for every byte value.  Indexing an arbitrary-shape
+#: ``uint8`` array with this table is the fastest pure-NumPy popcount.
+POPCOUNT_TABLE: np.ndarray = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint8
+)
+
+_UNSIGNED_KINDS = ("u",)
+
+
+def _require_unsigned(words: np.ndarray, name: str = "words") -> np.ndarray:
+    arr = np.asarray(words)
+    if arr.dtype.kind not in _UNSIGNED_KINDS:
+        raise ActivityError(
+            f"{name} must be an unsigned integer array, got dtype {arr.dtype}"
+        )
+    return arr
+
+
+def bit_width(words: np.ndarray) -> int:
+    """Return the number of bits per word for an unsigned integer array."""
+    arr = _require_unsigned(words)
+    return arr.dtype.itemsize * 8
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Count the set bits of each word.
+
+    Parameters
+    ----------
+    words:
+        Unsigned integer array of any shape.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``int64`` array with the same shape as ``words`` containing the
+        number of set bits in each element.
+    """
+    arr = _require_unsigned(words)
+    if arr.size == 0:
+        return np.zeros(arr.shape, dtype=np.int64)
+    flat = np.ascontiguousarray(arr)
+    as_bytes = flat.view(np.uint8).reshape(*flat.shape, flat.dtype.itemsize)
+    return POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def hamming_weight(words: np.ndarray) -> int:
+    """Total number of set bits across the whole array."""
+    return int(popcount(words).sum())
+
+
+def hamming_weight_fraction(words: np.ndarray) -> float:
+    """Fraction of set bits across the whole array, in ``[0, 1]``."""
+    arr = _require_unsigned(words)
+    if arr.size == 0:
+        return 0.0
+    total_bits = arr.size * bit_width(arr)
+    return hamming_weight(arr) / total_bits
+
+
+def hamming_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-element Hamming distance between two equally shaped word arrays."""
+    aa = _require_unsigned(a, "a")
+    bb = _require_unsigned(b, "b")
+    if aa.shape != bb.shape:
+        raise ActivityError(
+            f"hamming_distance requires matching shapes, got {aa.shape} vs {bb.shape}"
+        )
+    if aa.dtype != bb.dtype:
+        raise ActivityError(
+            f"hamming_distance requires matching dtypes, got {aa.dtype} vs {bb.dtype}"
+        )
+    return popcount(np.bitwise_xor(aa, bb))
+
+
+def bit_alignment(a: np.ndarray, b: np.ndarray) -> float:
+    """Mean bit alignment between paired words of ``a`` and ``b``.
+
+    Alignment is 1.0 when all bits agree and 0.0 when every bit differs,
+    matching the definition used for Figure 8 of the paper.
+    """
+    aa = _require_unsigned(a, "a")
+    if aa.size == 0:
+        return 1.0
+    width = bit_width(aa)
+    mean_distance = float(hamming_distance(a, b).mean())
+    return 1.0 - mean_distance / width
+
+
+def toggle_count(a: np.ndarray, b: np.ndarray) -> int:
+    """Total number of bit flips when words ``a`` are replaced by words ``b``."""
+    return int(hamming_distance(a, b).sum())
+
+
+def toggle_fraction(a: np.ndarray, b: np.ndarray) -> float:
+    """Fraction of bits that flip when ``a`` is replaced by ``b`` (in ``[0, 1]``)."""
+    aa = _require_unsigned(a, "a")
+    if aa.size == 0:
+        return 0.0
+    total_bits = aa.size * bit_width(aa)
+    return toggle_count(a, b) / total_bits
+
+
+def toggle_fraction_along_axis(words: np.ndarray, axis: int) -> float:
+    """Mean toggle fraction between successive words along ``axis``.
+
+    This models a datapath latch that sees the words streamed one after the
+    other in the order they appear along ``axis`` (for example the k-loop of
+    a GEMM streaming a row of ``A``).  For an array with a single element
+    along ``axis`` there are no transitions and the result is 0.
+    """
+    arr = _require_unsigned(words)
+    if arr.ndim == 0:
+        raise ActivityError("toggle_fraction_along_axis requires at least 1-D input")
+    n = arr.shape[axis]
+    if n < 2:
+        return 0.0
+    lead = np.take(arr, np.arange(1, n), axis=axis)
+    lag = np.take(arr, np.arange(0, n - 1), axis=axis)
+    return toggle_fraction(lag, lead)
+
+
+def set_low_bits_mask(width: int, count: int, dtype: np.dtype) -> int:
+    """Return a mask with the ``count`` least significant bits of a ``width``-bit word set."""
+    if not 0 <= count <= width:
+        raise ActivityError(f"count must be within [0, {width}], got {count}")
+    if count == 0:
+        return 0
+    mask = (1 << count) - 1
+    return int(np.array(mask, dtype=np.uint64).astype(dtype))
+
+
+def set_high_bits_mask(width: int, count: int, dtype: np.dtype) -> int:
+    """Return a mask with the ``count`` most significant bits of a ``width``-bit word set."""
+    if not 0 <= count <= width:
+        raise ActivityError(f"count must be within [0, {width}], got {count}")
+    if count == 0:
+        return 0
+    low = (1 << (width - count)) - 1
+    full = (1 << width) - 1
+    mask = full ^ low
+    return int(np.array(mask, dtype=np.uint64).astype(dtype))

@@ -1,0 +1,38 @@
+"""Library logging setup.
+
+The library never configures the root logger; it exposes a package logger
+that applications (examples, benchmarks) can opt into.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger", "enable_console_logging"]
+
+_PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str | None = None) -> logging.Logger:
+    """Return a child logger of the ``repro`` package logger."""
+    if name is None or name == _PACKAGE_LOGGER_NAME:
+        return logging.getLogger(_PACKAGE_LOGGER_NAME)
+    if name.startswith(f"{_PACKAGE_LOGGER_NAME}."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_PACKAGE_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a simple console handler to the package logger (idempotent)."""
+    logger = get_logger()
+    logger.setLevel(level)
+    has_console = any(
+        isinstance(handler, logging.StreamHandler) for handler in logger.handlers
+    )
+    if not has_console:
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,155 @@
+"""Statistics helpers used by the measurement harness and analysis code."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "SummaryStats",
+    "summarize",
+    "confidence_interval",
+    "trim_leading",
+    "relative_change",
+    "geometric_mean",
+    "pearson_correlation",
+    "spearman_correlation",
+]
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """Summary statistics of a sample of measurements."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    sem: float
+
+    def ci95(self) -> tuple[float, float]:
+        """Approximate 95% confidence interval of the mean (normal approx)."""
+        half = 1.96 * self.sem
+        return (self.mean - half, self.mean + half)
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "sem": self.sem,
+        }
+
+
+def summarize(values: Iterable[float]) -> SummaryStats:
+    """Compute :class:`SummaryStats` over an iterable of floats."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return SummaryStats(count=0, mean=math.nan, std=math.nan,
+                            minimum=math.nan, maximum=math.nan, sem=math.nan)
+    std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
+    sem = std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    return SummaryStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        std=std,
+        minimum=float(arr.min()),
+        maximum=float(arr.max()),
+        sem=sem,
+    )
+
+
+def confidence_interval(values: Sequence[float], level: float = 0.95) -> tuple[float, float]:
+    """Normal-approximation confidence interval of the mean."""
+    if not 0.0 < level < 1.0:
+        raise ValueError(f"level must be in (0, 1), got {level}")
+    stats = summarize(values)
+    if stats.count == 0:
+        return (math.nan, math.nan)
+    # Two-sided z value; 1.96 for 95%, computed generally via erfinv.
+    z = math.sqrt(2.0) * _erfinv(level)
+    half = z * stats.sem
+    return (stats.mean - half, stats.mean + half)
+
+
+def _erfinv(x: float) -> float:
+    """Inverse error function (scipy-free approximation, good to ~1e-9)."""
+    # Winitzki's approximation refined with two Newton steps.
+    a = 0.147
+    ln_term = math.log(1.0 - x * x)
+    first = 2.0 / (math.pi * a) + ln_term / 2.0
+    estimate = math.copysign(
+        math.sqrt(math.sqrt(first * first - ln_term / a) - first), x
+    )
+    for _ in range(2):
+        err = math.erf(estimate) - x
+        derivative = 2.0 / math.sqrt(math.pi) * math.exp(-estimate * estimate)
+        estimate -= err / derivative
+    return estimate
+
+
+def trim_leading(values: Sequence[float], fraction: float = 0.0, count: int = 0) -> np.ndarray:
+    """Drop warmup samples from the start of a series.
+
+    Either a ``fraction`` of the series length or an absolute ``count`` of
+    samples (whichever removes more) is trimmed, mirroring the paper's
+    removal of the first 500 ms of power samples.
+    """
+    arr = np.asarray(values, dtype=np.float64)
+    if not 0.0 <= fraction < 1.0:
+        raise ValueError(f"fraction must be in [0, 1), got {fraction}")
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    drop = max(int(round(fraction * arr.size)), count)
+    drop = min(drop, max(arr.size - 1, 0))
+    return arr[drop:]
+
+
+def relative_change(baseline: float, value: float) -> float:
+    """Signed relative change ``(value - baseline) / baseline``."""
+    if baseline == 0:
+        raise ValueError("baseline must be non-zero for a relative change")
+    return (value - baseline) / baseline
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return math.nan
+    if np.any(arr <= 0):
+        raise ValueError("geometric_mean requires strictly positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def pearson_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient of two equal-length sequences."""
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape:
+        raise ValueError("pearson_correlation requires equal-length inputs")
+    if xa.size < 2:
+        return math.nan
+    xs = xa - xa.mean()
+    ys = ya - ya.mean()
+    denom = math.sqrt(float((xs * xs).sum()) * float((ys * ys).sum()))
+    if denom == 0.0:
+        return 0.0
+    return float((xs * ys).sum() / denom)
+
+
+def spearman_correlation(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation of two equal-length sequences."""
+    xa = np.asarray(x, dtype=np.float64)
+    ya = np.asarray(y, dtype=np.float64)
+    if xa.shape != ya.shape:
+        raise ValueError("spearman_correlation requires equal-length inputs")
+    ranks_x = np.argsort(np.argsort(xa)).astype(np.float64)
+    ranks_y = np.argsort(np.argsort(ya)).astype(np.float64)
+    return pearson_correlation(ranks_x, ranks_y)

@@ -1,0 +1,123 @@
+"""Plain-text rendering of tables and simple charts.
+
+The benchmark harness regenerates the paper's figures as text: a table of
+the swept parameter vs. the measured quantity plus a small ASCII line chart
+so trends (and crossovers such as the sparsity-after-sorting peak) are
+visible directly in terminal output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_series_chart", "format_kv"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Render a fixed-width table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Row values; floats are formatted with ``precision`` decimals.
+    precision:
+        Number of decimals used for float cells.
+    title:
+        Optional title printed above the table.
+    """
+    text_rows = [[_format_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_series_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 60,
+    height: int = 12,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against shared x values as an ASCII chart.
+
+    Each series gets its own marker character.  The chart is intentionally
+    simple — enough to see monotonic trends, peaks, and rankings.
+    """
+    if width < 10 or height < 4:
+        raise ValueError("chart needs width >= 10 and height >= 4")
+    xs = list(x)
+    if not xs:
+        return title or ""
+    all_values = [v for values in series.values() for v in values]
+    if not all_values:
+        return title or ""
+    y_min = min(all_values)
+    y_max = max(all_values)
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    x_min, x_max = min(xs), max(xs)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for series_index, (name, values) in enumerate(series.items()):
+        marker = markers[series_index % len(markers)]
+        legend.append(f"{marker} = {name}")
+        for xv, yv in zip(xs, values):
+            col = int(round((xv - x_min) / (x_max - x_min) * (width - 1)))
+            row = int(round((yv - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: [{y_min:.3f}, {y_max:.3f}]   x: [{x_min:.3g}, {x_max:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: Mapping[str, object], precision: int = 3, title: str | None = None) -> str:
+    """Render key/value pairs aligned in two columns."""
+    keys = list(pairs.keys())
+    if not keys:
+        return title or ""
+    key_width = max(len(k) for k in keys)
+    lines = []
+    if title:
+        lines.append(title)
+    for key in keys:
+        lines.append(f"{key.ljust(key_width)} : {_format_cell(pairs[key], precision)}")
+    return "\n".join(lines)

@@ -1,0 +1,66 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Iterable, TypeVar
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_fraction",
+    "require_one_of",
+    "require_matrix",
+    "require_power_of_two",
+]
+
+T = TypeVar("T")
+
+
+def require_positive(value: float, name: str) -> float:
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    if not low <= value <= high:
+        raise ConfigurationError(f"{name} must be within [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_fraction(value: float, name: str) -> float:
+    """Validate a value expected to lie in [0, 1]."""
+    return require_in_range(value, 0.0, 1.0, name)
+
+
+def require_one_of(value: T, options: Iterable[T], name: str) -> T:
+    opts = list(options)
+    if value not in opts:
+        raise ConfigurationError(f"{name} must be one of {opts}, got {value!r}")
+    return value
+
+
+def require_matrix(array: np.ndarray, name: str) -> np.ndarray:
+    arr = np.asarray(array)
+    if arr.ndim != 2:
+        raise ConfigurationError(f"{name} must be a 2-D matrix, got ndim={arr.ndim}")
+    if arr.shape[0] == 0 or arr.shape[1] == 0:
+        raise ConfigurationError(f"{name} must be non-empty, got shape {arr.shape}")
+    return arr
+
+
+def require_power_of_two(value: int, name: str) -> int:
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ConfigurationError(f"{name} must be a positive power of two, got {value!r}")
+    return value

@@ -1,0 +1,248 @@
+"""Unit tests for the repro.activity package (switching-activity estimation)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity.accumulator import estimate_datapath_activity
+from repro.activity.engine import activity_from_matrices, estimate_activity
+from repro.activity.memory_traffic import estimate_memory_activity
+from repro.activity.multiplier import estimate_multiplier_activity
+from repro.activity.operand_bus import estimate_operand_activity
+from repro.activity.report import ActivityReport, COMPONENT_NAMES
+from repro.activity.sampler import SamplingConfig
+from repro.errors import ActivityError
+from repro.kernels.gemm import GemmOperands, GemmProblem
+from repro.kernels.schedule import build_streams
+
+
+def _streams(a, b, dtype="fp16", transpose_b=True):
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    n, k = a.shape
+    m = b.shape[0] if transpose_b else b.shape[1]
+    problem = GemmProblem(n=n, m=m, k=k, dtype=dtype, transpose_b=transpose_b)
+    return build_streams(GemmOperands(problem=problem, a=a, b_stored=b))
+
+
+class TestSamplingConfig:
+    def test_defaults_valid(self):
+        config = SamplingConfig()
+        assert config.output_samples >= 1
+
+    def test_invalid_samples(self):
+        with pytest.raises(ActivityError):
+            SamplingConfig(output_samples=0)
+
+    def test_invalid_max_k(self):
+        with pytest.raises(ActivityError):
+            SamplingConfig(max_k=1)
+
+    def test_effective_k(self):
+        assert SamplingConfig(max_k=32).effective_k(100) == 32
+        assert SamplingConfig().effective_k(100) == 100
+
+
+class TestOperandActivity:
+    def test_constant_matrices_have_zero_toggle(self):
+        streams = _streams(np.full((16, 16), 3.0), np.full((16, 16), 5.0))
+        activity = estimate_operand_activity(streams)
+        assert activity.toggle_a == 0.0
+        assert activity.toggle_b == 0.0
+        assert activity.activity == 0.0
+
+    def test_random_matrices_near_one(self, gaussian_matrices):
+        streams = _streams(*gaussian_matrices)
+        activity = estimate_operand_activity(streams)
+        assert 0.6 < activity.activity <= 1.1
+
+    def test_sorted_lower_than_random(self, gaussian_matrices):
+        a, b = gaussian_matrices
+        random_activity = estimate_operand_activity(_streams(a, b)).activity
+        sorted_activity = estimate_operand_activity(
+            _streams(np.sort(a.reshape(-1)).reshape(a.shape), np.sort(b.reshape(-1)).reshape(b.shape))
+        ).activity
+        assert sorted_activity < random_activity
+
+
+class TestMultiplierActivity:
+    def test_zero_matrices(self):
+        streams = _streams(np.zeros((8, 8)), np.zeros((8, 8)))
+        activity = estimate_multiplier_activity(streams)
+        assert activity.hw_product == 0.0
+        assert activity.zero_mac_fraction == pytest.approx(1.0)
+        assert activity.activity == pytest.approx(0.04, abs=0.01)
+
+    def test_factorized_mean_matches_bruteforce(self, rng):
+        # The factorized estimator must equal the brute-force mean over all MACs.
+        from repro.dtypes import get_dtype
+        from repro.util.bits import popcount
+
+        a = rng.normal(0, 210, size=(6, 5))
+        b = rng.normal(0, 210, size=(7, 5))  # stored transposed
+        streams = _streams(a, b, dtype="fp16")
+        activity = estimate_multiplier_activity(streams)
+
+        spec = get_dtype("fp16")
+        hw_a = popcount(spec.encode(streams.a_used)) / 16.0
+        hw_b = popcount(spec.encode(streams.b_used)) / 16.0
+        brute = np.mean(
+            [
+                hw_a[i, kk] * hw_b[kk, j]
+                for i in range(6)
+                for j in range(7)
+                for kk in range(5)
+            ]
+        )
+        assert activity.hw_product == pytest.approx(brute, rel=1e-12)
+
+    def test_zero_mac_fraction_exact(self, rng):
+        a = rng.normal(0, 210, size=(4, 8))
+        b = rng.normal(0, 210, size=(4, 8))
+        a[:, :4] = 0.0  # half of A's reduction slices are zero
+        streams = _streams(a, b, dtype="fp16")
+        activity = estimate_multiplier_activity(streams)
+        assert activity.zero_mac_fraction == pytest.approx(0.5)
+
+    def test_hamming_fractions_reported(self, gaussian_matrices):
+        streams = _streams(*gaussian_matrices)
+        activity = estimate_multiplier_activity(streams)
+        assert 0.3 < activity.a_hamming_fraction < 0.7
+        assert 0.3 < activity.b_hamming_fraction < 0.7
+
+
+class TestDatapathActivity:
+    def test_constant_inputs_low_product_toggle(self):
+        streams = _streams(np.full((16, 16), 2.0), np.full((16, 16), 3.0))
+        activity = estimate_datapath_activity(streams, SamplingConfig(output_samples=16))
+        assert activity.product_toggle == 0.0
+
+    def test_random_inputs_positive_toggles(self, gaussian_matrices):
+        streams = _streams(*gaussian_matrices)
+        activity = estimate_datapath_activity(streams, SamplingConfig(output_samples=32))
+        assert activity.product_toggle > 0.2
+        assert activity.accumulator_toggle > 0.1
+
+    def test_alignment_of_identical_matrices_is_one(self):
+        value = np.full((8, 8), 7.0)
+        streams = _streams(value, value)
+        activity = estimate_datapath_activity(streams, SamplingConfig(output_samples=8))
+        assert activity.bit_alignment == pytest.approx(1.0)
+
+    def test_output_samples_capped_by_space(self):
+        streams = _streams(np.ones((4, 4)), np.ones((4, 4)))
+        activity = estimate_datapath_activity(streams, SamplingConfig(output_samples=1000))
+        assert activity.output_samples == 16
+
+    def test_deterministic_given_seed(self, gaussian_matrices):
+        streams = _streams(*gaussian_matrices)
+        one = estimate_datapath_activity(streams, SamplingConfig(output_samples=32), seed=5)
+        two = estimate_datapath_activity(streams, SamplingConfig(output_samples=32), seed=5)
+        assert one.accumulator_toggle == two.accumulator_toggle
+
+
+class TestMemoryActivity:
+    def test_constant_matrix_zero(self):
+        streams = _streams(np.full((8, 8), 1.5), np.full((8, 8), 2.5))
+        assert estimate_memory_activity(streams).activity == 0.0
+
+    def test_uses_storage_layout_for_b(self, rng):
+        # B stored with constant rows (zero row-major toggle) but consumed
+        # transposed; memory activity must see the *stored* layout.
+        a = np.full((8, 8), 1.0)
+        b_stored = np.tile(rng.normal(0, 210, size=(8, 1)), (1, 8))
+        streams = _streams(a, b_stored, transpose_b=True)
+        assert estimate_memory_activity(streams).toggle_b == 0.0
+
+
+class TestEngine:
+    def test_full_report_fields(self, gaussian_matrices):
+        report = activity_from_matrices(*gaussian_matrices, dtype="fp16_t")
+        assert isinstance(report, ActivityReport)
+        assert report.dtype == "fp16_t"
+        assert report.shape == (96, 96, 96)
+        for name in COMPONENT_NAMES:
+            assert report.component_activity(name) >= 0.0
+
+    def test_accepts_operands_and_streams(self, gaussian_matrices):
+        a, b = gaussian_matrices
+        problem = GemmProblem(n=96, m=96, k=96, dtype="fp16")
+        operands = GemmOperands(problem=problem, a=a, b_stored=b)
+        from_operands = estimate_activity(operands)
+        from_streams = estimate_activity(build_streams(operands))
+        assert from_operands.multiplier_activity == pytest.approx(from_streams.multiplier_activity)
+
+    def test_rejects_other_types(self):
+        with pytest.raises(ActivityError):
+            estimate_activity("not operands")
+
+    def test_weighted_activity(self, gaussian_matrices):
+        report = activity_from_matrices(*gaussian_matrices)
+        weights = {"operand": 1.0, "multiplier": 0.0, "datapath": 0.0, "memory": 0.0}
+        assert report.weighted_activity(weights) == pytest.approx(report.operand_activity)
+
+    def test_weighted_activity_requires_positive_weights(self, gaussian_matrices):
+        report = activity_from_matrices(*gaussian_matrices)
+        with pytest.raises(ActivityError):
+            report.weighted_activity({"operand": 0.0})
+
+    def test_unknown_component_rejected(self, gaussian_matrices):
+        report = activity_from_matrices(*gaussian_matrices)
+        with pytest.raises(ActivityError):
+            report.component_activity("alu")
+
+    def test_as_dict_serializable(self, gaussian_matrices):
+        import json
+
+        report = activity_from_matrices(*gaussian_matrices)
+        assert json.loads(json.dumps(report.as_dict()))["dtype"] == "fp16_t"
+
+    def test_all_zero_input_gives_near_zero_activity(self):
+        report = activity_from_matrices(np.zeros((32, 32)), np.zeros((32, 32)))
+        for name in COMPONENT_NAMES:
+            assert report.component_activity(name) <= 0.05
+
+    def test_negative_activity_impossible(self, gaussian_matrices):
+        report = activity_from_matrices(*gaussian_matrices)
+        assert min(
+            report.operand_activity,
+            report.multiplier_activity,
+            report.datapath_activity,
+            report.memory_activity,
+        ) >= 0.0
+
+
+class TestActivityTrends:
+    """Directional checks that mirror the paper's mechanisms at matrix level."""
+
+    def test_sorting_reduces_weighted_activity(self, gaussian_matrices):
+        a, b = gaussian_matrices
+        weights = {"operand": 0.3, "multiplier": 0.22, "datapath": 0.28, "memory": 0.2}
+        random_report = activity_from_matrices(a, b)
+        sorted_report = activity_from_matrices(
+            np.sort(a.reshape(-1)).reshape(a.shape),
+            np.sort(b.reshape(-1)).reshape(b.shape),
+        )
+        assert sorted_report.weighted_activity(weights) < random_report.weighted_activity(weights)
+
+    def test_sparsity_reduces_multiplier_activity(self, gaussian_matrices, rng):
+        a, b = gaussian_matrices
+        mask = rng.random(a.shape) < 0.5
+        sparse_a = np.where(mask, 0.0, a)
+        dense = activity_from_matrices(a, b).multiplier_activity
+        sparse = activity_from_matrices(sparse_a, b).multiplier_activity
+        assert sparse < dense
+
+    def test_larger_mean_reduces_operand_activity(self, rng):
+        low_mean = rng.normal(0.0, 1.0, size=(96, 96))
+        high_mean = low_mean + 4096.0
+        low = activity_from_matrices(low_mean, low_mean.copy(), dtype="fp16")
+        high = activity_from_matrices(high_mean, high_mean.copy(), dtype="fp16")
+        assert high.operand_activity < low.operand_activity
+
+    def test_bit_alignment_higher_for_identical_fills(self):
+        same_fill = activity_from_matrices(np.full((32, 32), 13.5), np.full((32, 32), 13.5))
+        different_fill = activity_from_matrices(np.full((32, 32), 13.5), np.full((32, 32), -97.0))
+        assert same_fill.bit_alignment == pytest.approx(1.0)
+        assert different_fill.bit_alignment < same_fill.bit_alignment

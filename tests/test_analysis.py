@@ -1,0 +1,163 @@
+"""Unit tests for the repro.analysis package."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.alignment import matrix_bit_alignment, pairwise_alignment_profile
+from repro.analysis.correlation import correlate_power_with_bit_metrics, scatter_points
+from repro.analysis.hamming import hamming_profile, matrix_hamming_fraction
+from repro.analysis.reporting import (
+    render_experiment_table,
+    render_figure_markdown,
+    render_takeaway_report,
+)
+from repro.analysis.takeaways import (
+    TAKEAWAY_STATEMENTS,
+    TakeawayCheck,
+    check_t7_fp16t_most_power_hungry,
+    evaluate_takeaways,
+    passed_fraction,
+)
+from repro.errors import AnalysisError
+from repro.experiments.harness import run_experiment
+from repro.experiments.results import FigureResult
+from repro.experiments.sweep import run_sweep
+
+
+class TestAlignment:
+    def test_identical_matrices_full_alignment(self, rng):
+        values = rng.normal(0, 210, size=(16, 16))
+        assert matrix_bit_alignment(values, values, "fp16") == pytest.approx(1.0)
+
+    def test_alignment_shape_mismatch(self, rng):
+        with pytest.raises(AnalysisError):
+            matrix_bit_alignment(rng.normal(size=(4, 4)), rng.normal(size=(4, 5)), "fp16")
+
+    def test_random_pair_alignment_midrange(self, gaussian_matrices):
+        a, b = gaussian_matrices
+        alignment = matrix_bit_alignment(a, b, "fp16")
+        assert 0.3 < alignment < 0.8
+
+    def test_profile_fields(self, gaussian_matrices):
+        profile = pairwise_alignment_profile(*gaussian_matrices, dtype="fp16")
+        assert set(profile) == {"mean", "std", "min", "max", "p10", "p90"}
+        assert profile["min"] <= profile["mean"] <= profile["max"]
+
+    def test_profile_shape_mismatch(self, rng):
+        with pytest.raises(AnalysisError):
+            pairwise_alignment_profile(rng.normal(size=(4, 4)), rng.normal(size=(5, 4)), "fp16")
+
+
+class TestHamming:
+    def test_zero_matrix(self):
+        assert matrix_hamming_fraction(np.zeros((8, 8)), "fp16") == 0.0
+
+    def test_random_matrix_midrange(self, gaussian_matrices):
+        fraction = matrix_hamming_fraction(gaussian_matrices[0], "fp16")
+        assert 0.3 < fraction < 0.7
+
+    def test_profile_consistency(self, gaussian_matrices):
+        profile = hamming_profile(gaussian_matrices[0], "fp16")
+        assert profile["width_bits"] == 16
+        assert profile["mean_fraction"] == pytest.approx(profile["mean_bits"] / 16)
+        assert profile["min_bits"] <= profile["mean_bits"] <= profile["max_bits"]
+
+
+class TestCorrelation:
+    def _results(self, quiet_config):
+        configs = [
+            quiet_config(pattern_family="gaussian", label="gaussian"),
+            quiet_config(
+                pattern_family="sparsity", pattern_params={"sparsity": 0.8}, label="sparse"
+            ),
+            quiet_config(pattern_family="constant_random", label="constant"),
+        ]
+        return [run_experiment(c) for c in configs]
+
+    def test_scatter_points_fields(self, quiet_config):
+        points = scatter_points(self._results(quiet_config))
+        assert len(points) == 3
+        assert {"dtype", "power_watts", "bit_alignment", "hamming_fraction"}.issubset(points[0])
+
+    def test_correlations_per_dtype(self, quiet_config):
+        summaries = correlate_power_with_bit_metrics(self._results(quiet_config))
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary.dtype == "fp16_t"
+        assert summary.num_points == 3
+        assert -1.0 <= summary.hamming_pearson <= 1.0
+        assert set(summary.as_dict()) >= {"alignment_pearson", "hamming_spearman"}
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(AnalysisError):
+            correlate_power_with_bit_metrics([])
+
+
+class TestTakeaways:
+    def _sweep(self, quiet_config, family, parameter, values, **extra):
+        return run_sweep(quiet_config(pattern_family=family, **extra), parameter, values)
+
+    def test_statement_catalogue_complete(self):
+        assert set(TAKEAWAY_STATEMENTS) == {f"T{i}" for i in range(1, 16)}
+
+    def test_t7_check(self):
+        check = check_t7_fp16t_most_power_hungry({"fp16_t": 280.0, "fp32": 240.0, "int8": 200.0})
+        assert check.passed
+        check = check_t7_fp16t_most_power_hungry({"fp16_t": 200.0, "fp32": 240.0})
+        assert not check.passed
+        with pytest.raises(AnalysisError):
+            check_t7_fp16t_most_power_hungry({"fp32": 240.0})
+
+    def test_evaluate_subset_of_sweeps(self, quiet_config):
+        sweeps = {
+            "sparsity": self._sweep(quiet_config, "sparsity", "sparsity", [0.0, 0.5, 1.0]),
+            "zero_lsb": self._sweep(quiet_config, "zero_lsb", "fraction", [0.0, 0.5, 1.0]),
+        }
+        checks = evaluate_takeaways(sweeps)
+        ids = {c.takeaway for c in checks}
+        assert ids == {"T12", "T14"}
+        assert all(isinstance(c, TakeawayCheck) for c in checks)
+        assert all(c.passed for c in checks)
+
+    def test_passed_fraction(self):
+        checks = [
+            TakeawayCheck("T1", "s", True, "d"),
+            TakeawayCheck("T2", "s", False, "d"),
+        ]
+        assert passed_fraction(checks) == pytest.approx(0.5)
+        with pytest.raises(AnalysisError):
+            passed_fraction([])
+
+    def test_check_as_dict(self):
+        check = TakeawayCheck("T1", "statement", True, "detail")
+        assert check.as_dict()["takeaway"] == "T1"
+
+
+class TestReporting:
+    def test_experiment_table(self, quiet_config):
+        results = [run_experiment(quiet_config(label="baseline"))]
+        table = render_experiment_table(results, title="results")
+        assert "results" in table and "baseline" in table and "power_W" in table
+
+    def test_takeaway_report(self):
+        checks = [
+            TakeawayCheck("T1", "statement one", True, "ok"),
+            TakeawayCheck("T2", "statement two", False, "nope"),
+        ]
+        report = render_takeaway_report(checks)
+        assert "PASS" in report and "FAIL" in report and "1/2" in report
+
+    def test_figure_markdown(self, quiet_config):
+        sweep = run_sweep(quiet_config(pattern_family="sparsity"), "sparsity", [0.0, 1.0])
+        figure = FigureResult(name="fig6", description="sparsity effects")
+        figure.add_panel("a_sparsity/fp16_t", sweep)
+        figure.notes.append("test note")
+        markdown = render_figure_markdown(
+            figure, paper_expectation="power decreases", measured_summary="power decreased"
+        )
+        assert "### fig6" in markdown
+        assert "**Paper:** power decreases" in markdown
+        assert "| sparsity |" in markdown
+        assert "- test note" in markdown

@@ -1,0 +1,71 @@
+"""Tests for the exception hierarchy and subpackage export surfaces."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    ALL_ERRORS = [
+        errors.ConfigurationError,
+        errors.DTypeError,
+        errors.PatternError,
+        errors.DeviceError,
+        errors.KernelError,
+        errors.ActivityError,
+        errors.PowerModelError,
+        errors.TelemetryError,
+        errors.ExperimentError,
+        errors.AnalysisError,
+        errors.OptimizationError,
+    ]
+
+    @pytest.mark.parametrize("exc", ALL_ERRORS)
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_catching_base_catches_specific(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.PatternError("nope")
+
+    def test_errors_carry_messages(self):
+        try:
+            raise errors.DeviceError("unknown GPU 'foo'")
+        except errors.ReproError as exc:
+            assert "foo" in str(exc)
+
+
+class TestSubpackageExports:
+    """Every name listed in a subpackage's __all__ must actually resolve."""
+
+    PACKAGES = [
+        "repro",
+        "repro.util",
+        "repro.dtypes",
+        "repro.patterns",
+        "repro.gpu",
+        "repro.kernels",
+        "repro.activity",
+        "repro.power",
+        "repro.runtime",
+        "repro.telemetry",
+        "repro.experiments",
+        "repro.analysis",
+        "repro.optimize",
+    ]
+
+    @pytest.mark.parametrize("package_name", PACKAGES)
+    def test_all_exports_resolve(self, package_name):
+        module = importlib.import_module(package_name)
+        assert hasattr(module, "__all__") and module.__all__
+        for name in module.__all__:
+            assert hasattr(module, name), f"{package_name}.{name} missing"
+
+    def test_figures_registry_importable(self):
+        figures = importlib.import_module("repro.experiments.figures")
+        assert len(figures.FIGURES) == 8

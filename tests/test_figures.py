@@ -1,0 +1,122 @@
+"""Tests for the per-figure experiment definitions (quick settings)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import FIGURES, FigureSettings, list_figures, run_figure
+from repro.experiments.figures.common import mean_sweep_values
+from repro.experiments.figures.fig4_bit_similarity import datatype_power_ranking
+from repro.experiments.figures.fig7_generalization import power_swing_by_gpu
+
+#: Tiny settings so the whole figure suite stays fast in unit tests.
+TINY = FigureSettings.quick(matrix_size=64, seeds=1, dtypes=("fp16_t",), sweep_points=3)
+
+
+class TestFigureSettings:
+    def test_quick_standard_paper_presets(self):
+        assert FigureSettings.quick().matrix_size == 256
+        assert FigureSettings.standard().matrix_size == 1024
+        assert FigureSettings.paper().matrix_size == 2048
+        assert FigureSettings.paper().seeds == 10
+
+    def test_invalid_settings(self):
+        with pytest.raises(ExperimentError):
+            FigureSettings(matrix_size=2)
+        with pytest.raises(ExperimentError):
+            FigureSettings(seeds=0)
+        with pytest.raises(ExperimentError):
+            FigureSettings(sweep_points=1)
+
+    def test_subsample_preserves_endpoints(self):
+        settings = FigureSettings.quick(sweep_points=3)
+        values = [0, 1, 2, 3, 4, 5, 6, 7]
+        subsampled = settings.subsample(values)
+        assert subsampled[0] == 0 and subsampled[-1] == 7
+        assert len(subsampled) <= 3
+
+    def test_subsample_short_list_unchanged(self):
+        settings = FigureSettings.quick(sweep_points=5)
+        assert settings.subsample([1, 2]) == [1, 2]
+
+    def test_mean_sweep_values_respect_dtype_range(self):
+        assert max(mean_sweep_values("int8")) <= 127
+        assert max(mean_sweep_values("fp16")) <= 65504
+
+
+class TestFigureRegistry:
+    def test_all_eight_figures_registered(self):
+        assert list_figures() == [f"fig{i}" for i in range(1, 9)]
+        assert set(FIGURES) == set(list_figures())
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_figure("fig99", TINY)
+
+
+class TestFigureRuns:
+    def test_fig1_runtime(self):
+        figure = run_figure("fig1", TINY)
+        assert "runtime_by_dtype" in figure.panels
+        sweep = figure.panel("runtime_by_dtype")
+        assert sweep.values == list(TINY.dtypes)
+        assert all(t > 0 for t in sweep.runtimes())
+
+    def test_fig2_energy(self):
+        figure = run_figure("fig2", TINY)
+        sweep = figure.panel("energy_by_dtype")
+        assert all(e > 0 for e in sweep.energies())
+
+    def test_fig3_panels_per_dtype(self):
+        figure = run_figure("fig3", TINY)
+        assert f"a_std/{TINY.dtypes[0]}" in figure.panels
+        assert f"b_mean/{TINY.dtypes[0]}" in figure.panels
+        assert f"c_value_set/{TINY.dtypes[0]}" in figure.panels
+
+    def test_fig4_panels_and_ranking(self):
+        settings = FigureSettings.quick(
+            matrix_size=64, seeds=1, dtypes=("fp16_t", "int8"), sweep_points=3
+        )
+        figure = run_figure("fig4", settings)
+        ranking = datatype_power_ranking(figure)
+        assert set(ranking) == {"fp16_t", "int8"}
+        assert ranking["fp16_t"] > ranking["int8"]
+
+    def test_fig5_has_four_panel_families(self):
+        figure = run_figure("fig5", TINY)
+        dtype = TINY.dtypes[0]
+        for prefix in ("a_sorted_rows", "b_sorted_aligned", "c_sorted_columns", "d_sorted_within_rows"):
+            assert f"{prefix}/{dtype}" in figure.panels
+
+    def test_fig6_has_four_panel_families(self):
+        figure = run_figure("fig6", TINY)
+        dtype = TINY.dtypes[0]
+        for prefix in ("a_sparsity", "b_sorted_sparsity", "c_zero_lsb", "d_zero_msb"):
+            assert f"{prefix}/{dtype}" in figure.panels
+
+    def test_fig7_covers_paper_gpus(self):
+        settings = FigureSettings.quick(matrix_size=64, seeds=1, sweep_points=2)
+        figure = run_figure("fig7", settings)
+        gpus = {key.split("/")[0] for key in figure.panels}
+        assert gpus == {"v100", "a100", "h100", "rtx6000"}
+        swings = power_swing_by_gpu(figure)
+        assert set(swings) == gpus
+
+    def test_fig7_rtx6000_uses_smaller_matrices(self):
+        settings = FigureSettings.quick(matrix_size=1024, seeds=1, sweep_points=2)
+        from repro.experiments.figures.fig7_generalization import _matrix_size_for
+
+        assert _matrix_size_for("rtx6000", settings) == 512
+        assert _matrix_size_for("a100", settings) == 1024
+
+    def test_fig8_scatter_and_correlations(self):
+        figure = run_figure("fig8", TINY)
+        assert f"scatter/{TINY.dtypes[0]}" in figure.panels
+        assert any("corr(power, alignment)" in note for note in figure.notes)
+
+    def test_figure_results_serializable(self):
+        import json
+
+        figure = run_figure("fig1", TINY)
+        assert json.loads(json.dumps(figure.as_dict()))["name"] == "fig1"

@@ -1,0 +1,141 @@
+"""Unit tests for repro.gpu.memory, repro.gpu.sm, repro.gpu.tensor_core, repro.gpu.device."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.device import Device
+from repro.gpu.memory import MemoryHierarchy, gemm_dram_traffic_bytes
+from repro.gpu.sm import SMResources
+from repro.gpu.specs import get_gpu_spec
+from repro.gpu.tensor_core import TensorCoreConfig, default_mma_shape
+
+
+class TestMemoryHierarchy:
+    def test_from_spec(self):
+        mem = MemoryHierarchy.from_spec(get_gpu_spec("a100"))
+        assert mem.dram_bandwidth_bytes_per_s == pytest.approx(1935e9)
+        assert mem.l2_capacity_bytes == pytest.approx(40 * 1024**2)
+
+    def test_effective_bandwidth_below_peak(self):
+        mem = MemoryHierarchy.from_spec(get_gpu_spec("a100"))
+        assert mem.effective_bandwidth < mem.dram_bandwidth_bytes_per_s
+
+    def test_transfer_time(self):
+        mem = MemoryHierarchy.from_spec(get_gpu_spec("a100"))
+        assert mem.transfer_time_s(mem.effective_bandwidth) == pytest.approx(1.0)
+
+    def test_transfer_time_negative_rejected(self):
+        mem = MemoryHierarchy.from_spec(get_gpu_spec("a100"))
+        with pytest.raises(DeviceError):
+            mem.transfer_time_s(-1.0)
+
+    def test_fits_in_l2(self):
+        mem = MemoryHierarchy.from_spec(get_gpu_spec("a100"))
+        assert mem.fits_in_l2(1024)
+        assert not mem.fits_in_l2(mem.l2_capacity_bytes + 1)
+
+
+class TestGemmTraffic:
+    def test_minimum_traffic_single_tile(self):
+        # Whole problem fits in one tile: each operand read once, C read+written.
+        traffic = gemm_dram_traffic_bytes(64, 64, 64, 2, tile_m=64, tile_n=64)
+        expected = 2 * (64 * 64) * 2 + 2 * (64 * 64 * 2)
+        assert traffic == pytest.approx(expected)
+
+    def test_traffic_grows_with_more_tiles(self):
+        small_tiles = gemm_dram_traffic_bytes(1024, 1024, 1024, 2, tile_m=64, tile_n=64)
+        large_tiles = gemm_dram_traffic_bytes(1024, 1024, 1024, 2, tile_m=256, tile_n=256)
+        assert small_tiles > large_tiles
+
+    def test_l2_caching_reduces_traffic(self):
+        without_l2 = gemm_dram_traffic_bytes(512, 512, 512, 2, tile_m=128, tile_n=128)
+        with_l2 = gemm_dram_traffic_bytes(
+            512, 512, 512, 2, tile_m=128, tile_n=128, l2_capacity_bytes=40 * 1024**2
+        )
+        assert with_l2 < without_l2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DeviceError):
+            gemm_dram_traffic_bytes(0, 64, 64, 2, 64, 64)
+
+
+class TestSMResources:
+    def test_from_spec(self):
+        sm = SMResources.from_spec(get_gpu_spec("a100"))
+        assert sm.cuda_cores == 64
+        assert sm.tensor_cores == 4
+
+    def test_mac_lanes_packing(self):
+        sm = SMResources.from_spec(get_gpu_spec("a100"))
+        assert sm.mac_lanes(tensor_core=False, bits=32) == 64
+        assert sm.mac_lanes(tensor_core=False, bits=16) == 128
+        assert sm.mac_lanes(tensor_core=False, bits=8) == 256
+
+    def test_tensor_core_lanes_exceed_cuda_lanes(self):
+        sm = SMResources.from_spec(get_gpu_spec("a100"))
+        assert sm.mac_lanes(tensor_core=True, bits=16) > sm.mac_lanes(tensor_core=False, bits=16)
+
+
+class TestTensorCoreConfig:
+    def test_default_shapes(self):
+        fp16 = default_mma_shape("fp16_t")
+        assert (fp16.mma_m, fp16.mma_n, fp16.mma_k) == (16, 8, 16)
+        int8 = default_mma_shape("int8")
+        assert int8.mma_k == 32
+
+    def test_cuda_core_path_scalar_shape(self):
+        scalar = default_mma_shape("fp32")
+        assert scalar.macs_per_instruction == 1
+
+    def test_fragments_per_gemm(self):
+        config = TensorCoreConfig(mma_m=16, mma_n=8, mma_k=16)
+        assert config.fragments_per_gemm(16, 8, 16) == 1
+        assert config.fragments_per_gemm(32, 8, 16) == 2
+        assert config.fragments_per_gemm(17, 8, 16) == 2
+
+    def test_fragments_invalid_dims(self):
+        with pytest.raises(DeviceError):
+            TensorCoreConfig(16, 8, 16).fragments_per_gemm(0, 8, 16)
+
+
+class TestDevice:
+    def test_create_by_name(self):
+        device = Device.create("a100")
+        assert device.name == "a100"
+        assert device.tdp_watts == 300.0
+        assert device.idle_watts == pytest.approx(52.0)
+
+    def test_peak_throughput_flops(self):
+        device = Device.create("a100")
+        assert device.peak_throughput_flops("fp16_t") == pytest.approx(312e12)
+
+    def test_process_variation_deterministic_per_instance(self):
+        a = Device.create("a100", instance_id=1)
+        b = Device.create("a100", instance_id=1)
+        c = Device.create("a100", instance_id=2)
+        assert a.process_variation_watts() == b.process_variation_watts()
+        assert a.process_variation_watts() != c.process_variation_watts()
+
+    def test_process_variation_bounded(self):
+        for instance in range(25):
+            offset = Device.create("a100", instance_id=instance).process_variation_watts()
+            assert abs(offset) <= 3.0 * get_gpu_spec("a100").process_variation_watts
+
+    def test_supports_and_validate_dtype(self):
+        device = Device.create("a100")
+        assert device.supports_dtype("fp16_t")
+        assert device.validate_dtype("FP16-T") == "fp16_t"
+        with pytest.raises(Exception):
+            device.validate_dtype("fp4")
+
+    def test_describe_keys(self):
+        desc = Device.create("h100").describe()
+        for key in ("name", "architecture", "tdp_watts", "memory_type"):
+            assert key in desc
+
+    def test_mma_shape_lookup(self):
+        device = Device.create("a100")
+        assert device.mma_shape("fp16_t").mma_m == 16
+        assert device.mma_shape("fp32").macs_per_instruction == 1

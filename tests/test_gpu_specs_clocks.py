@@ -1,0 +1,122 @@
+"""Unit tests for repro.gpu.specs and repro.gpu.clocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DeviceError
+from repro.gpu.clocks import MIN_CLOCK_SCALE, ClockModel
+from repro.gpu.specs import GPU_SPECS, PAPER_GPUS, GPUSpec, get_gpu_spec, list_gpus, register_gpu_spec
+
+
+class TestSpecDatabase:
+    def test_paper_gpus_registered(self):
+        for name in PAPER_GPUS:
+            assert get_gpu_spec(name).name == name
+
+    def test_tdp_values_match_paper(self):
+        assert get_gpu_spec("a100").tdp_watts == 300.0
+        assert get_gpu_spec("h100").tdp_watts == 700.0
+        assert get_gpu_spec("v100").tdp_watts == 300.0
+        assert get_gpu_spec("rtx6000").tdp_watts == 260.0
+
+    def test_aliases(self):
+        assert get_gpu_spec("A100-PCIe").name == "a100"
+        assert get_gpu_spec("quadro-rtx-6000").name == "rtx6000"
+
+    def test_unknown_gpu_raises(self):
+        with pytest.raises(DeviceError):
+            get_gpu_spec("b200")
+
+    def test_pass_through(self):
+        spec = get_gpu_spec("a100")
+        assert get_gpu_spec(spec) is spec
+
+    def test_list_gpus(self):
+        names = list_gpus()
+        assert set(PAPER_GPUS).issubset(names)
+        assert names == sorted(names)
+
+    def test_peak_throughput_ordering(self):
+        # Tensor-core FP16 must be the fastest path on every paper GPU.
+        for name in PAPER_GPUS:
+            spec = get_gpu_spec(name)
+            assert spec.peak_throughput("fp16_t") > spec.peak_throughput("fp16")
+            assert spec.peak_throughput("fp16") > spec.peak_throughput("fp32")
+
+    def test_unknown_dtype_throughput_raises(self):
+        with pytest.raises(DeviceError):
+            get_gpu_spec("a100").peak_throughput("fp4")
+
+    def test_total_core_counts(self):
+        spec = get_gpu_spec("a100")
+        assert spec.total_cuda_cores == 108 * 64
+        assert spec.total_tensor_cores == 108 * 4
+
+    def test_scaled_copy(self):
+        scaled = get_gpu_spec("a100").scaled(tdp_watts=250.0)
+        assert scaled.tdp_watts == 250.0
+        assert get_gpu_spec("a100").tdp_watts == 300.0
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(DeviceError):
+            register_gpu_spec(GPU_SPECS["a100"])
+
+    def test_rtx6000_less_data_dependence(self):
+        # The paper notes the RTX 6000 shows less pronounced swings.
+        assert (
+            get_gpu_spec("rtx6000").data_dependent_fraction
+            < get_gpu_spec("a100").data_dependent_fraction
+        )
+
+
+class TestClockModel:
+    def test_no_throttle_below_tdp(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=50.0, dynamic_watts=200.0)
+        assert not state.throttled
+        assert state.clock_scale == 1.0
+        assert state.constrained_power_watts == pytest.approx(250.0)
+
+    def test_throttle_above_tdp(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=50.0, dynamic_watts=400.0)
+        assert state.throttled
+        assert state.clock_scale < 1.0
+        assert state.constrained_power_watts <= 300.0 + 1e-6
+        assert state.unconstrained_power_watts == pytest.approx(450.0)
+
+    def test_throttle_runtime_scale(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=50.0, dynamic_watts=400.0)
+        assert state.runtime_scale == pytest.approx(1.0 / state.clock_scale)
+        assert state.runtime_scale > 1.0
+
+    def test_explicit_power_limit(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=50.0, dynamic_watts=200.0, power_limit_watts=150.0)
+        assert state.throttled
+        assert state.constrained_power_watts <= 150.0 + 1e-6
+
+    def test_clock_scale_floor(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=299.0, dynamic_watts=1000.0)
+        assert state.clock_scale == pytest.approx(MIN_CLOCK_SCALE)
+
+    def test_zero_dynamic_never_throttles(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        state = model.resolve_throttle(idle_watts=500.0, dynamic_watts=0.0)
+        assert not state.throttled
+
+    def test_invalid_inputs(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        with pytest.raises(DeviceError):
+            model.resolve_throttle(idle_watts=50.0, dynamic_watts=-1.0)
+        with pytest.raises(DeviceError):
+            model.resolve_throttle(idle_watts=50.0, dynamic_watts=10.0, power_limit_watts=0.0)
+        with pytest.raises(DeviceError):
+            model.dynamic_power_at_scale(100.0, 0.0)
+
+    def test_dynamic_power_scaling_quadratic(self):
+        model = ClockModel(get_gpu_spec("a100"))
+        assert model.dynamic_power_at_scale(100.0, 0.5) == pytest.approx(25.0)

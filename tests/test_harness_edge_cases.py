@@ -1,0 +1,97 @@
+"""Edge-case tests of the measurement harness and the throttling path."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import MIN_MEASUREMENT_DURATION_S, ExperimentRunner, run_experiment
+from repro.runtime.model import RuntimeModel
+from repro.kernels.gemm import GemmProblem
+from repro.kernels.launch import plan_launch
+from repro.gpu.device import Device
+
+
+class TestMeasurementWindowPadding:
+    def test_short_runs_padded_to_minimum_duration(self, quiet_config):
+        # 128^2 GEMM iterations are microseconds long; with the default
+        # iteration count the run would be far shorter than the minimum
+        # measurement window, so the harness must extend it.
+        config = quiet_config(iterations=10)
+        result = run_experiment(config)
+        measurement = result.measurements[0]
+        implied_iterations = MIN_MEASUREMENT_DURATION_S / measurement.iteration_time_s
+        assert implied_iterations > 10
+        # Energy is still per-iteration, so it must not blow up with padding.
+        assert measurement.iteration_energy_j < 1.0
+
+    def test_long_configs_not_padded(self, quiet_config):
+        config = quiet_config(iterations=2_000_000)
+        runner = ExperimentRunner(config)
+        measurement = runner.run().measurements[0]
+        expected_duration = 2_000_000 * measurement.iteration_time_s
+        assert expected_duration >= MIN_MEASUREMENT_DURATION_S
+
+
+class TestWarmupTrimming:
+    def test_trimming_changes_measured_power(self, quiet_config):
+        # With the warmup ramp included (no trim), the mean power must be
+        # lower than with the paper's 500 ms trim applied.
+        trimmed = run_experiment(quiet_config(warmup_trim_s=0.5)).mean_power_watts
+        untrimmed = run_experiment(quiet_config(warmup_trim_s=0.0)).mean_power_watts
+        assert untrimmed < trimmed
+
+
+class TestThrottlingPath:
+    def test_rtx6000_throttles_at_large_matrices(self):
+        """The paper ran the RTX 6000 at 512^2 because 2048^2 throttled it.
+
+        The model reproduces the mechanism: at full occupancy the RTX 6000's
+        unconstrained power exceeds its 260 W TDP and the clock drops.
+        """
+        device = Device.create("rtx6000")
+        problem = GemmProblem.square(2048, dtype="fp16")
+        launch = plan_launch(problem, device)
+        # Unconstrained dynamic power at full activity exceeds the TDP headroom.
+        from repro.power.calibration import PowerCalibration
+
+        components = PowerCalibration().components(device, "fp16")
+        unconstrained = components.idle_watts + components.max_active_watts * launch.occupancy
+        if unconstrained > device.tdp_watts:
+            state = device.clock_model.resolve_throttle(
+                components.idle_watts, components.max_active_watts * launch.occupancy
+            )
+            assert state.throttled
+            assert state.clock_scale < 1.0
+
+    def test_throttled_runtime_longer_than_free(self):
+        device = Device.create("rtx6000")
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16"), device)
+        model = RuntimeModel()
+        free = model.estimate(launch, clock_scale=1.0).iteration_time_s
+        throttled = model.estimate(launch, clock_scale=0.7).iteration_time_s
+        assert throttled > free
+
+    def test_a100_does_not_throttle_at_paper_size(self, quiet_config):
+        # The paper chose 2048 as the largest size that does not consistently
+        # throttle the A100; the model agrees.
+        result = run_experiment(quiet_config(matrix_size=2048, seeds=1))
+        assert not result.any_throttled
+
+
+class TestSeedBehaviour:
+    def test_seed_measurements_vary_with_random_patterns(self, quiet_config):
+        result = run_experiment(quiet_config(pattern_family="constant_random", seeds=3))
+        powers = [m.power_watts for m in result.measurements]
+        # Different constant values per seed -> different activity -> spread.
+        assert max(powers) - min(powers) > 0.0
+
+    def test_power_std_zero_for_single_seed(self, quiet_config):
+        result = run_experiment(quiet_config(seeds=1))
+        assert result.power_std_watts == 0.0
+
+    def test_base_seed_changes_results(self, quiet_config):
+        one = run_experiment(quiet_config(pattern_family="constant_random", base_seed=1))
+        two = run_experiment(quiet_config(pattern_family="constant_random", base_seed=2))
+        assert not math.isclose(one.mean_power_watts, two.mean_power_watts, rel_tol=1e-9)

@@ -1,0 +1,136 @@
+"""Cross-cutting invariants of the power/runtime pipeline.
+
+These tests pin down properties that must hold for *any* input data, device
+and datatype — the guarantees downstream users (optimizers, schedulers)
+rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity.engine import activity_from_matrices
+from repro.dtypes.registry import PAPER_DTYPES
+from repro.gpu.device import Device
+from repro.gpu.specs import PAPER_GPUS
+from repro.kernels.gemm import GemmProblem
+from repro.kernels.launch import plan_launch
+from repro.optimize.estimation import quick_power_estimate
+from repro.patterns.library import PATTERN_FAMILIES, build_pattern
+from repro.power.model import MAX_ACTIVITY_FACTOR, PowerModel
+from repro.runtime.model import RuntimeModel
+from repro.util.rng import derive_rng
+
+SIZE = 96
+
+
+def _matrices(family: str, dtype: str, **params):
+    pattern = build_pattern(family, dtype, **params)
+    a = pattern.generate((SIZE, SIZE), dtype, derive_rng(1, family, dtype, "A"))
+    b = pattern.generate((SIZE, SIZE), dtype, derive_rng(1, family, dtype, "B"))
+    return a, b
+
+
+class TestPowerBounds:
+    @pytest.mark.parametrize("gpu", PAPER_GPUS)
+    @pytest.mark.parametrize("dtype", PAPER_DTYPES)
+    def test_power_between_idle_and_tdp(self, gpu, dtype):
+        device = Device.create(gpu)
+        a, b = _matrices("gaussian", dtype)
+        estimate = quick_power_estimate(a, b, dtype=dtype, gpu=device)
+        assert device.idle_watts - 1e-6 <= estimate.power_watts <= device.tdp_watts + 1e-6
+
+    @pytest.mark.parametrize("family", sorted(PATTERN_FAMILIES))
+    def test_every_pattern_family_yields_valid_estimate(self, family):
+        a, b = _matrices(family, "fp16_t")
+        estimate = quick_power_estimate(a, b, dtype="fp16_t", gpu="a100")
+        assert np.isfinite(estimate.power_watts)
+        assert 0.0 <= estimate.activity_factor <= MAX_ACTIVITY_FACTOR
+        assert estimate.iteration_time_s > 0.0
+        assert estimate.iteration_energy_j > 0.0
+
+    def test_all_zero_inputs_give_minimum_power(self):
+        device = Device.create("a100")
+        zeros = quick_power_estimate(
+            np.zeros((SIZE, SIZE)), np.zeros((SIZE, SIZE)), gpu=device
+        ).power_watts
+        for family in ("gaussian", "sorted_rows", "constant_random", "value_set"):
+            a, b = _matrices(family, "fp16_t")
+            assert quick_power_estimate(a, b, gpu=device).power_watts >= zeros - 1e-9
+
+
+class TestActivityMonotonicity:
+    def test_power_is_monotone_in_activity_factor(self):
+        """Feeding a strictly larger activity report must not lower power."""
+        device = Device.create("a100")
+        launch = plan_launch(GemmProblem.square(512, dtype="fp16_t"), device)
+        model = PowerModel(device)
+        a, b = _matrices("gaussian", "fp16_t")
+        dense = activity_from_matrices(a, b, dtype="fp16_t")
+        sparse_a = np.where(derive_rng(3).random(a.shape) < 0.7, 0.0, a)
+        sparse = activity_from_matrices(sparse_a, b, dtype="fp16_t")
+        dense_power = model.estimate(launch, dense, include_process_variation=False).watts
+        sparse_power = model.estimate(launch, sparse, include_process_variation=False).watts
+        assert model.activity_factor(sparse) <= model.activity_factor(dense)
+        assert sparse_power <= dense_power
+
+    def test_component_breakdown_sums_below_data_budget(self):
+        device = Device.create("a100")
+        launch = plan_launch(GemmProblem.square(512, dtype="fp16_t"), device)
+        model = PowerModel(device)
+        a, b = _matrices("gaussian", "fp16_t")
+        estimate = model.estimate(
+            launch, activity_from_matrices(a, b, dtype="fp16_t"), include_process_variation=False
+        )
+        components_total = sum(estimate.component_breakdown.values())
+        budget = model.components("fp16_t").data_dependent_watts * MAX_ACTIVITY_FACTOR
+        assert components_total <= budget + 1e-6
+
+
+class TestThrottleInvariants:
+    def test_throttled_power_never_exceeds_limit(self):
+        device = Device.create("a100")
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16_t"), device)
+        model = PowerModel(device)
+        a, b = _matrices("gaussian", "fp16_t")
+        activity = activity_from_matrices(a, b, dtype="fp16_t")
+        for limit in (120.0, 180.0, 250.0, 400.0):
+            estimate = model.estimate(
+                launch, activity, power_limit_watts=limit, include_process_variation=False
+            )
+            assert estimate.watts <= limit + 1e-6 or not estimate.throttled
+
+    def test_throttling_extends_runtime(self):
+        device = Device.create("a100")
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16_t"), device)
+        model = PowerModel(device)
+        runtime_model = RuntimeModel()
+        a, b = _matrices("gaussian", "fp16_t")
+        activity = activity_from_matrices(a, b, dtype="fp16_t")
+        free = model.estimate(launch, activity, include_process_variation=False)
+        capped = model.estimate(
+            launch, activity, power_limit_watts=150.0, include_process_variation=False
+        )
+        free_runtime = runtime_model.estimate(launch, clock_scale=free.clock_scale)
+        capped_runtime = runtime_model.estimate(launch, clock_scale=capped.clock_scale)
+        assert capped_runtime.iteration_time_s > free_runtime.iteration_time_s
+
+
+class TestCrossDeviceConsistency:
+    def test_same_inputs_same_activity_on_every_device(self):
+        """Activity is a property of the data, not of the device."""
+        a, b = _matrices("sorted_rows", "fp16", fraction=1.0)
+        reference = activity_from_matrices(a, b, dtype="fp16")
+        again = activity_from_matrices(a, b, dtype="fp16")
+        assert reference.operand_activity == pytest.approx(again.operand_activity)
+        assert reference.multiplier_activity == pytest.approx(again.multiplier_activity)
+
+    @pytest.mark.parametrize("gpu", PAPER_GPUS)
+    def test_sorting_helps_on_every_gpu(self, gpu):
+        device = Device.create(gpu)
+        random_a, random_b = _matrices("gaussian", "fp16")
+        sorted_a, sorted_b = _matrices("sorted_rows", "fp16", fraction=1.0)
+        random_power = quick_power_estimate(random_a, random_b, dtype="fp16", gpu=device).power_watts
+        sorted_power = quick_power_estimate(sorted_a, sorted_b, dtype="fp16", gpu=device).power_watts
+        assert sorted_power < random_power

@@ -1,0 +1,134 @@
+"""Unit tests for repro.patterns.bitsim (bit-similarity transforms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_dtype
+from repro.errors import PatternError
+from repro.patterns.bitsim import (
+    RandomBitFlipTransform,
+    RandomizeHighBitsTransform,
+    RandomizeLowBitsTransform,
+    resolve_bit_count,
+)
+from repro.util.bits import hamming_distance
+
+
+def _words(values, dtype_name):
+    return get_dtype(dtype_name).encode(np.asarray(values, dtype=np.float64))
+
+
+class TestResolveBitCount:
+    def test_count_passthrough(self):
+        assert resolve_bit_count(get_dtype("fp16"), 5, None) == 5
+
+    def test_fraction_resolution(self):
+        assert resolve_bit_count(get_dtype("fp16"), None, 0.5) == 8
+        assert resolve_bit_count(get_dtype("fp32"), None, 1.0) == 32
+
+    def test_both_or_neither_rejected(self):
+        with pytest.raises(PatternError):
+            resolve_bit_count(get_dtype("fp16"), 1, 0.5)
+        with pytest.raises(PatternError):
+            resolve_bit_count(get_dtype("fp16"), None, None)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(PatternError):
+            resolve_bit_count(get_dtype("fp16"), 17, None)
+        with pytest.raises(PatternError):
+            resolve_bit_count(get_dtype("fp16"), None, 1.5)
+
+
+class TestRandomBitFlip:
+    def test_zero_probability_is_identity(self, rng):
+        values = np.full((8, 8), 3.25)
+        out = RandomBitFlipTransform(0.0).apply(values, get_dtype("fp16"), rng)
+        np.testing.assert_array_equal(out, values)
+
+    def test_flip_fraction_matches_probability(self, rng):
+        spec = get_dtype("fp16")
+        values = np.full((64, 64), 17.5)
+        out = RandomBitFlipTransform(0.25).apply(values, spec, rng)
+        distance = hamming_distance(spec.encode(values), spec.encode(out))
+        assert distance.mean() / spec.bits == pytest.approx(0.25, abs=0.03)
+
+    def test_output_still_representable(self, rng):
+        spec = get_dtype("int8")
+        values = np.full((16, 16), 21.0)
+        out = RandomBitFlipTransform(0.5).apply(values, spec, rng)
+        np.testing.assert_array_equal(spec.quantize(out), out)
+
+    def test_does_not_mutate_input(self, rng):
+        values = np.full((8, 8), 3.25)
+        original = values.copy()
+        RandomBitFlipTransform(0.5).apply(values, get_dtype("fp16"), rng)
+        np.testing.assert_array_equal(values, original)
+
+    def test_invalid_probability(self):
+        with pytest.raises(PatternError):
+            RandomBitFlipTransform(1.5)
+
+
+class TestRandomizeLowBits:
+    def test_zero_count_identity(self, rng):
+        values = np.full((4, 4), 11.0)
+        out = RandomizeLowBitsTransform(count=0).apply(values, get_dtype("fp16"), rng)
+        np.testing.assert_array_equal(out, values)
+
+    def test_only_low_bits_change(self, rng):
+        spec = get_dtype("fp16")
+        values = np.full((32, 32), 123.5)
+        out = RandomizeLowBitsTransform(count=4).apply(values, spec, rng)
+        changed = np.bitwise_xor(spec.encode(values), spec.encode(out))
+        assert int(np.bitwise_or.reduce(changed.reshape(-1))) <= 0xF
+
+    def test_more_bits_more_entropy(self, rng):
+        spec = get_dtype("fp16")
+        values = np.full((64, 64), 123.5)
+        few = RandomizeLowBitsTransform(count=2).apply(values, spec, rng)
+        many = RandomizeLowBitsTransform(count=12).apply(values, spec, rng)
+        assert len(np.unique(many)) > len(np.unique(few))
+
+    def test_fraction_variant(self, rng):
+        spec = get_dtype("int8")
+        values = np.full((16, 16), 77.0)
+        out = RandomizeLowBitsTransform(fraction=1.0).apply(values, spec, rng)
+        assert len(np.unique(out)) > 1
+
+
+class TestRandomizeHighBits:
+    def test_only_high_bits_change(self, rng):
+        spec = get_dtype("fp16")
+        values = np.full((32, 32), 123.5)
+        out = RandomizeHighBitsTransform(count=4).apply(values, spec, rng)
+        changed = np.bitwise_xor(spec.encode(values), spec.encode(out))
+        low_mask = (1 << 12) - 1
+        assert int(np.bitwise_or.reduce(changed.reshape(-1)) & low_mask) == 0
+
+    def test_high_bit_randomization_changes_magnitudes_widely(self, rng):
+        spec = get_dtype("fp16")
+        values = np.full((64, 64), 123.5)
+        out = RandomizeHighBitsTransform(count=6).apply(values, spec, rng)
+        finite = out[np.isfinite(out)]
+        assert np.abs(finite).max() > np.abs(values).max()
+
+    def test_zero_count_identity(self, rng):
+        values = np.full((4, 4), 11.0)
+        out = RandomizeHighBitsTransform(count=0).apply(values, get_dtype("fp32"), rng)
+        np.testing.assert_array_equal(out, values)
+
+    def test_full_width_randomization_near_uniform_bits(self, rng):
+        spec = get_dtype("int8")
+        values = np.full((128, 128), 5.0)
+        out = RandomizeHighBitsTransform(fraction=1.0).apply(values, spec, rng)
+        words = spec.encode(out)
+        from repro.util.bits import hamming_weight_fraction
+
+        assert hamming_weight_fraction(words) == pytest.approx(0.5, abs=0.02)
+
+    def test_describe_round_trip(self):
+        t = RandomizeHighBitsTransform(fraction=0.5)
+        assert t.describe()["name"] == "randomize_msb"
+        assert t.describe()["fraction"] == 0.5

@@ -1,0 +1,139 @@
+"""Unit tests for repro.patterns.distribution and the pattern/transform base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_dtype
+from repro.errors import PatternError
+from repro.patterns.base import Pattern, Transform, TransformedPattern
+from repro.patterns.distribution import (
+    ConstantPattern,
+    ConstantRandomPattern,
+    GaussianPattern,
+    UniformPattern,
+    ValueSetPattern,
+)
+from repro.patterns.sparsity import SparsityTransform
+from repro.util.rng import derive_rng
+
+
+class TestGaussianPattern:
+    def test_shape_and_dtype(self, rng):
+        values = GaussianPattern(0.0, 1.0).generate((8, 12), "fp32", rng)
+        assert values.shape == (8, 12)
+        assert values.dtype == np.float64
+
+    def test_values_are_representable(self, rng):
+        spec = get_dtype("fp16")
+        values = GaussianPattern(0.0, 210.0).generate((32, 32), spec, rng)
+        np.testing.assert_array_equal(spec.quantize(values), values)
+
+    def test_mean_and_std_respected(self, rng):
+        values = GaussianPattern(100.0, 5.0).generate((64, 64), "fp32", rng)
+        assert values.mean() == pytest.approx(100.0, abs=1.0)
+        assert values.std() == pytest.approx(5.0, abs=0.5)
+
+    def test_reproducible_with_same_rng_seed(self):
+        pattern = GaussianPattern(0.0, 1.0)
+        a = pattern.generate((8, 8), "fp32", derive_rng(3, "x"))
+        b = pattern.generate((8, 8), "fp32", derive_rng(3, "x"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_int8_values_clipped_and_integral(self, rng):
+        values = GaussianPattern(0.0, 100.0).generate((32, 32), "int8", rng)
+        assert values.max() <= 127 and values.min() >= -128
+        np.testing.assert_array_equal(values, np.rint(values))
+
+    def test_negative_std_rejected(self):
+        with pytest.raises(PatternError):
+            GaussianPattern(0.0, -1.0)
+
+    def test_describe(self):
+        desc = GaussianPattern(1.0, 2.0).describe()
+        assert desc == {"name": "gaussian", "mean": 1.0, "std": 2.0}
+
+
+class TestValueSetPattern:
+    def test_unique_value_count_bounded_by_set_size(self, rng):
+        values = ValueSetPattern(set_size=4, std=210.0).generate((64, 64), "fp32", rng)
+        assert len(np.unique(values)) <= 4
+
+    def test_set_size_one_is_constant(self, rng):
+        values = ValueSetPattern(set_size=1, std=210.0).generate((16, 16), "fp32", rng)
+        assert len(np.unique(values)) == 1
+
+    def test_large_set_has_many_values(self, rng):
+        values = ValueSetPattern(set_size=1024, std=210.0).generate((64, 64), "fp32", rng)
+        assert len(np.unique(values)) > 256
+
+    def test_invalid_set_size(self):
+        with pytest.raises(PatternError):
+            ValueSetPattern(set_size=0)
+
+
+class TestConstantPatterns:
+    def test_constant_value(self, rng):
+        values = ConstantPattern(3.0).generate((4, 4), "fp32", rng)
+        np.testing.assert_array_equal(values, np.full((4, 4), 3.0))
+
+    def test_constant_clipped_to_range(self, rng):
+        values = ConstantPattern(1e6).generate((2, 2), "fp16", rng)
+        assert values.max() <= get_dtype("fp16").representable_range[1]
+
+    def test_constant_random_is_uniform_fill(self, rng):
+        values = ConstantRandomPattern(std=210.0).generate((16, 16), "fp16", rng)
+        assert len(np.unique(values)) == 1
+
+    def test_constant_random_differs_across_rngs(self):
+        pattern = ConstantRandomPattern(std=210.0)
+        a = pattern.generate((4, 4), "fp16", derive_rng(1, "A"))
+        b = pattern.generate((4, 4), "fp16", derive_rng(1, "B"))
+        assert a[0, 0] != b[0, 0]
+
+
+class TestUniformPattern:
+    def test_bounds(self, rng):
+        values = UniformPattern(-2.0, 2.0).generate((32, 32), "fp32", rng)
+        assert values.min() >= -2.0 and values.max() <= 2.0
+
+    def test_invalid_bounds(self):
+        with pytest.raises(PatternError):
+            UniformPattern(1.0, 1.0)
+
+
+class TestPatternBase:
+    def test_invalid_shape_rejected(self, rng):
+        with pytest.raises(PatternError):
+            GaussianPattern().generate((0, 4), "fp32", rng)
+
+    def test_with_transforms_builds_composite(self, rng):
+        composite = GaussianPattern(0, 210.0).with_transforms(SparsityTransform(0.5))
+        assert isinstance(composite, TransformedPattern)
+        values = composite.generate((32, 32), "fp16", rng)
+        assert (values == 0).mean() == pytest.approx(0.5, abs=0.05)
+
+    def test_transformed_pattern_rejects_non_transform(self):
+        with pytest.raises(PatternError):
+            TransformedPattern(GaussianPattern(), ["not a transform"])
+
+    def test_transformed_pattern_rejects_non_pattern_base(self):
+        with pytest.raises(PatternError):
+            TransformedPattern("nope", [])
+
+    def test_transformed_pattern_name_composition(self):
+        composite = TransformedPattern(GaussianPattern(0, 1), [SparsityTransform(0.5)])
+        assert "gaussian" in composite.name and "sparsity" in composite.name
+
+    def test_describe_includes_transforms(self):
+        composite = TransformedPattern(GaussianPattern(0, 1), [SparsityTransform(0.25)])
+        desc = composite.describe()
+        assert desc["base"]["name"] == "gaussian"
+        assert desc["transforms"][0]["name"] == "sparsity"
+
+    def test_abstract_classes_cannot_instantiate(self):
+        with pytest.raises(TypeError):
+            Pattern()
+        with pytest.raises(TypeError):
+            Transform()

@@ -1,0 +1,110 @@
+"""Unit tests for the pattern-family registry (repro.patterns.library)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import PatternError
+from repro.patterns.library import (
+    PATTERN_FAMILIES,
+    build_pattern,
+    list_patterns,
+    paper_base_pattern,
+)
+from repro.util.rng import derive_rng
+
+
+class TestRegistry:
+    def test_all_paper_families_present(self):
+        names = list_patterns()
+        for family in (
+            "gaussian",
+            "value_set",
+            "constant_random",
+            "bit_flip",
+            "randomize_lsb",
+            "randomize_msb",
+            "sorted_rows",
+            "sorted_columns",
+            "sorted_within_rows",
+            "sparsity",
+            "sorted_sparsity",
+            "zero_lsb",
+            "zero_msb",
+        ):
+            assert family in names
+
+    def test_list_matches_mapping(self):
+        assert set(list_patterns()) == set(PATTERN_FAMILIES)
+
+    def test_unknown_family_raises(self):
+        with pytest.raises(PatternError):
+            build_pattern("nonexistent", "fp16")
+
+    def test_invalid_parameters_raise_pattern_error(self):
+        with pytest.raises(PatternError):
+            build_pattern("gaussian", "fp16", bogus_param=3)
+
+
+class TestPaperBasePattern:
+    def test_fp_scale(self):
+        pattern = paper_base_pattern("fp16")
+        assert pattern.std == pytest.approx(210.0)
+
+    def test_int8_scale(self):
+        pattern = paper_base_pattern("int8")
+        assert pattern.std == pytest.approx(25.0)
+
+
+class TestBuiltPatternBehaviour:
+    @pytest.mark.parametrize("family", sorted(PATTERN_FAMILIES))
+    def test_every_family_generates_representable_values(self, family):
+        from repro.dtypes import get_dtype
+
+        spec = get_dtype("fp16")
+        pattern = build_pattern(family, spec)
+        values = pattern.generate((16, 16), spec, derive_rng(0, family))
+        assert values.shape == (16, 16)
+        finite = values[np.isfinite(values)]
+        np.testing.assert_array_equal(spec.quantize(finite), finite)
+
+    def test_sparsity_parameter_applied(self):
+        pattern = build_pattern("sparsity", "fp16", sparsity=0.75)
+        values = pattern.generate((32, 32), "fp16", derive_rng(1))
+        assert (values == 0).mean() == pytest.approx(0.75, abs=0.05)
+
+    def test_sorted_sparsity_composes_sort_then_zeros(self):
+        pattern = build_pattern("sorted_sparsity", "fp16", sparsity=0.3)
+        values = pattern.generate((32, 32), "fp16", derive_rng(2))
+        nonzero = values[values != 0]
+        assert (values == 0).mean() == pytest.approx(0.3, abs=0.05)
+        assert nonzero.size > 0
+
+    def test_sorted_rows_full_sort(self):
+        pattern = build_pattern("sorted_rows", "fp16", fraction=1.0)
+        values = pattern.generate((16, 16), "fp16", derive_rng(3))
+        assert np.all(np.diff(values.reshape(-1)) >= 0)
+
+    def test_value_set_size_respected(self):
+        pattern = build_pattern("value_set", "fp16", set_size=8)
+        values = pattern.generate((32, 32), "fp16", derive_rng(4))
+        assert len(np.unique(values)) <= 8
+
+    def test_structured_sparsity_family(self):
+        pattern = build_pattern("structured_sparsity", "fp16", n=2, m=4)
+        values = pattern.generate((16, 16), "fp16", derive_rng(5))
+        assert (values != 0).mean() == pytest.approx(0.5, abs=0.01)
+
+    def test_constant_family_value(self):
+        pattern = build_pattern("constant", "fp32", value=2.5)
+        values = pattern.generate((4, 4), "fp32", derive_rng(6))
+        assert np.all(values == 2.5)
+
+    def test_zero_msb_reduces_magnitude(self):
+        base = build_pattern("gaussian", "fp16")
+        zeroed = build_pattern("zero_msb", "fp16", fraction=0.25)
+        rng_a, rng_b = derive_rng(7, "a"), derive_rng(7, "a")
+        base_values = base.generate((32, 32), "fp16", rng_a)
+        zero_values = zeroed.generate((32, 32), "fp16", rng_b)
+        assert np.abs(zero_values).max() <= np.abs(base_values).max()

@@ -1,0 +1,117 @@
+"""Unit tests for repro.patterns.placement (sorting transforms)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_dtype
+from repro.errors import PatternError
+from repro.patterns.placement import (
+    PartialSortTransform,
+    sort_columns,
+    sort_rows,
+    sort_within_rows,
+)
+
+
+@pytest.fixture
+def matrix(rng):
+    return rng.normal(0, 210.0, size=(16, 16))
+
+
+class TestSortRows:
+    def test_full_sort_is_globally_sorted_row_major(self, matrix):
+        out = sort_rows(matrix, 1.0)
+        flat = out.reshape(-1)
+        assert np.all(np.diff(flat) >= 0)
+
+    def test_zero_fraction_is_identity(self, matrix):
+        np.testing.assert_array_equal(sort_rows(matrix, 0.0), matrix)
+
+    def test_multiset_preserved(self, matrix):
+        out = sort_rows(matrix, 0.6)
+        np.testing.assert_allclose(np.sort(out.reshape(-1)), np.sort(matrix.reshape(-1)))
+
+    def test_partial_sort_places_lowest_values_first(self, matrix):
+        fraction = 0.25
+        out = sort_rows(matrix, fraction)
+        k = int(round(fraction * matrix.size))
+        sorted_all = np.sort(matrix.reshape(-1))
+        np.testing.assert_allclose(out.reshape(-1)[:k], sorted_all[:k])
+
+    def test_partial_sort_keeps_rest_in_original_order(self, matrix):
+        fraction = 0.25
+        out = sort_rows(matrix, fraction)
+        k = int(round(fraction * matrix.size))
+        flat = matrix.reshape(-1)
+        lowest = set(np.argsort(flat, kind="stable")[:k].tolist())
+        remaining_original = flat[[i for i in range(flat.size) if i not in lowest]]
+        np.testing.assert_allclose(out.reshape(-1)[k:], remaining_original)
+
+    def test_invalid_fraction(self, matrix):
+        with pytest.raises(PatternError):
+            sort_rows(matrix, 1.5)
+
+
+class TestSortColumns:
+    def test_full_sort_is_globally_sorted_column_major(self, matrix):
+        out = sort_columns(matrix, 1.0)
+        flat = out.reshape(-1, order="F")
+        assert np.all(np.diff(flat) >= 0)
+
+    def test_multiset_preserved(self, matrix):
+        out = sort_columns(matrix, 0.5)
+        np.testing.assert_allclose(np.sort(out.reshape(-1)), np.sort(matrix.reshape(-1)))
+
+    def test_differs_from_row_sort(self, matrix):
+        assert not np.array_equal(sort_columns(matrix, 1.0), sort_rows(matrix, 1.0))
+
+
+class TestSortWithinRows:
+    def test_full_sort_sorts_each_row(self, matrix):
+        out = sort_within_rows(matrix, 1.0)
+        assert np.all(np.diff(out, axis=1) >= 0)
+
+    def test_rows_keep_their_own_values(self, matrix):
+        out = sort_within_rows(matrix, 1.0)
+        for i in range(matrix.shape[0]):
+            np.testing.assert_allclose(np.sort(out[i]), np.sort(matrix[i]))
+
+    def test_partial_sort_prefix_of_each_row(self, matrix):
+        fraction = 0.5
+        out = sort_within_rows(matrix, fraction)
+        k = int(round(fraction * matrix.shape[1]))
+        for i in range(matrix.shape[0]):
+            np.testing.assert_allclose(out[i, :k], np.sort(matrix[i])[:k])
+
+
+class TestPartialSortTransform:
+    def test_modes(self, matrix, rng):
+        spec = get_dtype("fp32")
+        for mode in ("rows", "columns", "within_rows"):
+            out = PartialSortTransform(1.0, mode=mode).apply(matrix, spec, rng)
+            assert out.shape == matrix.shape
+
+    def test_invalid_mode(self):
+        with pytest.raises(PatternError):
+            PartialSortTransform(0.5, mode="diagonal")
+
+    def test_invalid_fraction(self):
+        with pytest.raises(PatternError):
+            PartialSortTransform(-0.1)
+
+    def test_quantized_values_stay_representable(self, rng):
+        spec = get_dtype("fp16")
+        values = spec.quantize(rng.normal(0, 210, size=(12, 12)))
+        out = PartialSortTransform(1.0, mode="rows").apply(values, spec, rng)
+        np.testing.assert_array_equal(spec.quantize(out), out)
+
+    def test_describe(self):
+        desc = PartialSortTransform(0.75, mode="columns").describe()
+        assert desc == {"name": "partial_sort", "mode": "columns", "fraction": 0.75}
+
+    def test_sorting_reduces_row_adjacent_differences(self, matrix):
+        original_diff = np.abs(np.diff(matrix.reshape(-1))).mean()
+        sorted_diff = np.abs(np.diff(sort_rows(matrix, 1.0).reshape(-1))).mean()
+        assert sorted_diff < original_diff

@@ -1,0 +1,120 @@
+"""Unit tests for repro.patterns.sparsity."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dtypes import get_dtype
+from repro.errors import PatternError
+from repro.patterns.sparsity import (
+    SparsityTransform,
+    StructuredSparsityTransform,
+    ZeroHighBitsTransform,
+    ZeroLowBitsTransform,
+)
+
+
+@pytest.fixture
+def matrix(rng):
+    # Strictly non-zero values so sparsity is measurable.
+    values = rng.normal(0, 210.0, size=(16, 16))
+    values[values == 0] = 1.0
+    return values
+
+
+class TestSparsityTransform:
+    def test_zero_sparsity_identity(self, matrix, rng):
+        out = SparsityTransform(0.0).apply(matrix, get_dtype("fp32"), rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_full_sparsity_all_zero(self, matrix, rng):
+        out = SparsityTransform(1.0).apply(matrix, get_dtype("fp32"), rng)
+        assert np.all(out == 0.0)
+
+    def test_exact_zero_count(self, matrix, rng):
+        out = SparsityTransform(0.25).apply(matrix, get_dtype("fp32"), rng)
+        assert int((out == 0).sum()) == int(round(0.25 * matrix.size))
+
+    def test_nonzero_entries_unchanged(self, matrix, rng):
+        out = SparsityTransform(0.5).apply(matrix, get_dtype("fp32"), rng)
+        mask = out != 0
+        np.testing.assert_array_equal(out[mask], matrix[mask])
+
+    def test_input_not_mutated(self, matrix, rng):
+        original = matrix.copy()
+        SparsityTransform(0.5).apply(matrix, get_dtype("fp32"), rng)
+        np.testing.assert_array_equal(matrix, original)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(PatternError):
+            SparsityTransform(1.2)
+
+
+class TestZeroBitTransforms:
+    def test_zero_lsb_reduces_set_bits(self, matrix, rng):
+        spec = get_dtype("fp16")
+        from repro.util.bits import hamming_weight
+
+        quantized = spec.quantize(matrix)
+        out = ZeroLowBitsTransform(count=8).apply(quantized, spec, rng)
+        assert hamming_weight(spec.encode(out)) < hamming_weight(spec.encode(quantized))
+
+    def test_zero_lsb_keeps_low_bits_clear(self, matrix, rng):
+        spec = get_dtype("fp16")
+        out = ZeroLowBitsTransform(count=6).apply(matrix, spec, rng)
+        words = spec.encode(out)
+        assert int(np.bitwise_or.reduce(words.reshape(-1)) & 0x3F) == 0
+
+    def test_zero_msb_full_width_gives_zero_matrix(self, matrix, rng):
+        spec = get_dtype("fp16")
+        out = ZeroHighBitsTransform(fraction=1.0).apply(matrix, spec, rng)
+        assert np.all(out == 0.0)
+
+    def test_zero_msb_shrinks_magnitudes(self, matrix, rng):
+        spec = get_dtype("fp16")
+        quantized = spec.quantize(matrix)
+        out = ZeroHighBitsTransform(count=3).apply(quantized, spec, rng)
+        assert np.abs(out).max() <= np.abs(quantized).max()
+
+    def test_zero_count_identity(self, matrix, rng):
+        spec = get_dtype("fp32")
+        out = ZeroLowBitsTransform(count=0).apply(matrix, spec, rng)
+        np.testing.assert_array_equal(out, matrix)
+
+    def test_int8_zero_lsb(self, rng):
+        spec = get_dtype("int8")
+        values = spec.quantize(rng.normal(0, 25, size=(16, 16)))
+        out = ZeroLowBitsTransform(count=2).apply(values, spec, rng)
+        words = spec.encode(out)
+        assert int(np.bitwise_or.reduce(words.reshape(-1)) & 0x3) == 0
+
+
+class TestStructuredSparsity:
+    def test_2_of_4_keeps_half(self, matrix, rng):
+        out = StructuredSparsityTransform(2, 4).apply(matrix, get_dtype("fp16"), rng)
+        assert (out != 0).mean() == pytest.approx(0.5)
+
+    def test_keeps_largest_magnitudes_per_group(self, rng):
+        values = np.array([[1.0, -8.0, 3.0, 0.5, 9.0, 2.0, -1.0, 4.0]])
+        out = StructuredSparsityTransform(2, 4).apply(values, get_dtype("fp32"), rng)
+        np.testing.assert_array_equal(out[0, :4], [0.0, -8.0, 3.0, 0.0])
+        np.testing.assert_array_equal(out[0, 4:], [9.0, 0.0, 0.0, 4.0])
+
+    def test_group_count_per_row(self, matrix, rng):
+        out = StructuredSparsityTransform(1, 4).apply(matrix, get_dtype("fp32"), rng)
+        nonzero_per_group = (out.reshape(16, 4, 4) != 0).sum(axis=-1)
+        assert np.all(nonzero_per_group == 1)
+
+    def test_zero_n_gives_empty_matrix(self, matrix, rng):
+        out = StructuredSparsityTransform(0, 4).apply(matrix, get_dtype("fp32"), rng)
+        assert np.all(out == 0)
+
+    def test_width_not_divisible_rejected(self, rng):
+        values = np.ones((2, 6))
+        with pytest.raises(PatternError):
+            StructuredSparsityTransform(2, 4).apply(values, get_dtype("fp32"), rng)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(PatternError):
+            StructuredSparsityTransform(5, 4)

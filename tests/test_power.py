@@ -1,0 +1,271 @@
+"""Unit tests for the repro.power package and the runtime model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.activity.engine import activity_from_matrices
+from repro.errors import PowerModelError
+from repro.gpu.device import Device
+from repro.kernels.gemm import GemmProblem
+from repro.kernels.launch import plan_launch
+from repro.power.calibration import DEFAULT_DTYPE_PROFILES, DTypePowerProfile, PowerCalibration
+from repro.power.components import ComponentWeights, PowerComponents
+from repro.power.energy import EnergyEstimate, energy_joules
+from repro.power.model import MAX_ACTIVITY_FACTOR, PowerModel
+from repro.runtime.model import RuntimeModel
+from repro.runtime.roofline import compute_bound_time_s, memory_bound_time_s, roofline_time_s
+
+
+@pytest.fixture
+def a100() -> Device:
+    return Device.create("a100")
+
+
+@pytest.fixture
+def gaussian_activity(gaussian_matrices):
+    return activity_from_matrices(*gaussian_matrices, dtype="fp16_t")
+
+
+@pytest.fixture
+def zero_activity():
+    return activity_from_matrices(np.zeros((64, 64)), np.zeros((64, 64)), dtype="fp16_t")
+
+
+class TestComponentWeights:
+    def test_normalized_sums_to_one(self):
+        normalized = ComponentWeights().normalized()
+        assert sum(normalized.values()) == pytest.approx(1.0)
+
+    def test_without_component(self):
+        weights = ComponentWeights().without("multiplier")
+        assert weights.multiplier == 0.0
+        assert weights.operand > 0
+
+    def test_without_unknown_component(self):
+        with pytest.raises(PowerModelError):
+            ComponentWeights().without("alu")
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(PowerModelError):
+            ComponentWeights(operand=-0.1)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(PowerModelError):
+            ComponentWeights(operand=0, multiplier=0, datapath=0, memory=0)
+
+
+class TestPowerComponents:
+    def test_totals(self):
+        components = PowerComponents(idle_watts=50, base_active_watts=100, data_dependent_watts=80)
+        assert components.max_active_watts == 180
+        assert components.max_total_watts == 230
+
+    def test_negative_rejected(self):
+        with pytest.raises(PowerModelError):
+            PowerComponents(idle_watts=-1, base_active_watts=1, data_dependent_watts=1)
+
+
+class TestCalibration:
+    def test_fp16t_highest_headroom(self):
+        profiles = DEFAULT_DTYPE_PROFILES
+        assert profiles["fp16_t"].headroom_fraction == max(
+            p.headroom_fraction for p in profiles.values()
+        )
+
+    def test_components_respect_tdp(self, a100):
+        calibration = PowerCalibration()
+        for dtype in ("fp32", "fp16", "fp16_t", "int8"):
+            components = calibration.components(a100, dtype)
+            assert components.max_total_watts <= a100.tdp_watts + 1e-9
+
+    def test_unknown_dtype_profile(self, a100):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            PowerCalibration().components(a100, "fp8")
+
+    def test_profile_override(self, a100):
+        calibration = PowerCalibration(
+            profiles={"fp32": DTypePowerProfile(headroom_fraction=0.5, data_dependent_fraction=0.5)}
+        )
+        components = calibration.components(a100, "fp32")
+        assert components.data_dependent_watts == pytest.approx(components.base_active_watts)
+
+    def test_invalid_profile(self):
+        with pytest.raises(PowerModelError):
+            DTypePowerProfile(headroom_fraction=0.0)
+        with pytest.raises(PowerModelError):
+            DTypePowerProfile(headroom_fraction=0.5, data_dependent_fraction=1.5)
+
+    def test_datatype_power_ranking(self, a100):
+        calibration = PowerCalibration()
+        budgets = {
+            dtype: calibration.components(a100, dtype).max_active_watts
+            for dtype in ("fp32", "fp16", "fp16_t", "int8")
+        }
+        assert budgets["fp16_t"] > budgets["fp32"] > budgets["fp16"] > budgets["int8"]
+
+
+class TestPowerModel:
+    def test_estimate_between_idle_and_tdp(self, a100, gaussian_activity):
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100)
+        estimate = PowerModel(a100).estimate(launch, gaussian_activity, include_process_variation=False)
+        assert a100.idle_watts < estimate.watts <= a100.tdp_watts + 1e-6
+
+    def test_higher_activity_more_power(self, a100, gaussian_activity, zero_activity):
+        launch = plan_launch(GemmProblem.square(512, dtype="fp16_t"), a100)
+        model = PowerModel(a100)
+        high = model.estimate(launch, gaussian_activity, include_process_variation=False)
+        low = model.estimate(launch, zero_activity, include_process_variation=False)
+        assert high.watts > low.watts
+        assert high.activity_factor > low.activity_factor
+
+    def test_activity_factor_clipped(self, a100, gaussian_activity):
+        factor = PowerModel(a100).activity_factor(gaussian_activity)
+        assert 0.0 <= factor <= MAX_ACTIVITY_FACTOR
+
+    def test_dtype_mismatch_rejected(self, a100, gaussian_activity):
+        launch = plan_launch(GemmProblem.square(256, dtype="fp32"), a100)
+        with pytest.raises(PowerModelError):
+            PowerModel(a100).estimate(launch, gaussian_activity)
+
+    def test_process_variation_included_when_requested(self, gaussian_activity):
+        device = Device.create("a100", instance_id=3)
+        launch = plan_launch(GemmProblem.square(256, dtype="fp16_t"), device)
+        model = PowerModel(device)
+        with_variation = model.estimate(launch, gaussian_activity, include_process_variation=True)
+        without = model.estimate(launch, gaussian_activity, include_process_variation=False)
+        assert with_variation.watts - without.watts == pytest.approx(
+            device.process_variation_watts()
+        )
+
+    def test_component_breakdown_keys(self, a100, gaussian_activity):
+        launch = plan_launch(GemmProblem.square(256, dtype="fp16_t"), a100)
+        estimate = PowerModel(a100).estimate(launch, gaussian_activity)
+        assert set(estimate.component_breakdown) == {"operand", "multiplier", "datapath", "memory"}
+
+    def test_power_limit_forces_throttle(self, a100, gaussian_activity):
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100)
+        estimate = PowerModel(a100).estimate(
+            launch, gaussian_activity, power_limit_watts=150.0, include_process_variation=False
+        )
+        assert estimate.throttled
+        assert estimate.watts <= 150.0 + 1e-6
+        assert estimate.clock_scale < 1.0
+
+    def test_custom_weights_change_factor(self, a100, gaussian_activity):
+        only_multiplier = ComponentWeights(operand=0, multiplier=1, datapath=0, memory=0)
+        model = PowerModel(a100, weights=only_multiplier)
+        assert model.activity_factor(gaussian_activity) == pytest.approx(
+            min(gaussian_activity.multiplier_activity, MAX_ACTIVITY_FACTOR)
+        )
+
+    def test_idle_estimate(self, a100):
+        idle = PowerModel(a100).idle_estimate()
+        assert idle == pytest.approx(a100.idle_watts + a100.process_variation_watts())
+
+    def test_occupancy_scales_power(self, a100, gaussian_activity):
+        model = PowerModel(a100)
+        small = model.estimate(
+            plan_launch(GemmProblem.square(256, dtype="fp16_t"), a100),
+            gaussian_activity,
+            include_process_variation=False,
+        )
+        large = model.estimate(
+            plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100),
+            gaussian_activity,
+            include_process_variation=False,
+        )
+        assert large.watts > small.watts
+
+
+class TestEnergy:
+    def test_energy_joules(self):
+        assert energy_joules(100.0, 2.0) == 200.0
+
+    def test_energy_invalid(self):
+        with pytest.raises(PowerModelError):
+            energy_joules(-1.0, 1.0)
+        with pytest.raises(PowerModelError):
+            energy_joules(1.0, -1.0)
+
+    def test_energy_estimate_properties(self):
+        estimate = EnergyEstimate(power_watts=250.0, iteration_time_s=1e-4, iterations=1000)
+        assert estimate.iteration_energy_j == pytest.approx(0.025)
+        assert estimate.iteration_energy_mj == pytest.approx(25.0)
+        assert estimate.total_energy_j == pytest.approx(25.0)
+        assert estimate.total_duration_s == pytest.approx(0.1)
+
+    def test_efficiency(self):
+        estimate = EnergyEstimate(power_watts=100.0, iteration_time_s=1e-3, iterations=1)
+        assert estimate.efficiency_flops_per_joule(1e9) == pytest.approx(1e10)
+
+    def test_invalid_iterations(self):
+        with pytest.raises(PowerModelError):
+            EnergyEstimate(power_watts=1.0, iteration_time_s=1.0, iterations=-1)
+
+
+class TestRoofline:
+    def test_compute_bound_time(self):
+        assert compute_bound_time_s(1e12, 1e12, 1.0) == pytest.approx(1.0)
+        assert compute_bound_time_s(1e12, 1e12, 0.5) == pytest.approx(2.0)
+
+    def test_memory_bound_time(self):
+        assert memory_bound_time_s(1e9, 1e9) == pytest.approx(1.0)
+
+    def test_roofline_overlap(self):
+        assert roofline_time_s(2.0, 1.0, overlap=1.0) == pytest.approx(2.0)
+        assert roofline_time_s(2.0, 1.0, overlap=0.0) == pytest.approx(3.0)
+        assert roofline_time_s(2.0, 1.0, overlap=0.5) == pytest.approx(2.5)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(PowerModelError):
+            compute_bound_time_s(1.0, 0.0)
+        with pytest.raises(PowerModelError):
+            compute_bound_time_s(1.0, 1.0, efficiency=0.0)
+        with pytest.raises(PowerModelError):
+            memory_bound_time_s(1.0, 0.0)
+        with pytest.raises(PowerModelError):
+            roofline_time_s(1.0, 1.0, overlap=2.0)
+
+
+class TestRuntimeModel:
+    def test_fp16t_faster_than_fp32(self, a100):
+        model = RuntimeModel()
+        fp32 = model.estimate(plan_launch(GemmProblem.square(2048, dtype="fp32"), a100))
+        fp16t = model.estimate(plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100))
+        assert fp16t.iteration_time_s < fp32.iteration_time_s
+
+    def test_throttle_slows_compute(self, a100):
+        model = RuntimeModel()
+        launch = plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100)
+        full = model.estimate(launch, clock_scale=1.0)
+        half = model.estimate(launch, clock_scale=0.5)
+        assert half.compute_time_s == pytest.approx(2.0 * full.compute_time_s)
+
+    def test_invalid_clock_scale(self, a100):
+        launch = plan_launch(GemmProblem.square(256, dtype="fp16_t"), a100)
+        with pytest.raises(PowerModelError):
+            RuntimeModel().estimate(launch, clock_scale=0.0)
+
+    def test_large_gemm_is_compute_bound(self, a100):
+        estimate = RuntimeModel().estimate(plan_launch(GemmProblem.square(2048, dtype="fp32"), a100))
+        assert estimate.compute_bound
+
+    def test_efficiency_override(self, a100):
+        launch = plan_launch(GemmProblem.square(1024, dtype="fp16_t"), a100)
+        slow = RuntimeModel({"fp16_t": 0.4}).estimate(launch)
+        fast = RuntimeModel({"fp16_t": 0.9}).estimate(launch)
+        assert slow.iteration_time_s > fast.iteration_time_s
+
+    def test_invalid_efficiency_override(self):
+        with pytest.raises(PowerModelError):
+            RuntimeModel({"fp16_t": 1.5})
+
+    def test_runtime_in_reasonable_range_for_paper_config(self, a100):
+        # 2048^3 FP16-T on an A100: tens to a few hundred microseconds.
+        estimate = RuntimeModel().estimate(plan_launch(GemmProblem.square(2048, dtype="fp16_t"), a100))
+        assert 20e-6 < estimate.iteration_time_s < 500e-6
+        assert estimate.iteration_time_us == pytest.approx(estimate.iteration_time_s * 1e6)

@@ -1,0 +1,181 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.dtypes import get_dtype
+from repro.patterns.bitsim import RandomBitFlipTransform, RandomizeLowBitsTransform
+from repro.patterns.placement import sort_columns, sort_rows, sort_within_rows
+from repro.patterns.sparsity import SparsityTransform
+from repro.util.bits import (
+    bit_alignment,
+    hamming_distance,
+    popcount,
+    toggle_fraction,
+    toggle_fraction_along_axis,
+)
+from repro.util.rng import derive_rng, derive_seed
+from repro.util.stats import summarize
+
+# Shared strategies -----------------------------------------------------------
+
+uint16_arrays = hnp.arrays(
+    dtype=np.uint16,
+    shape=hnp.array_shapes(min_dims=1, max_dims=2, min_side=1, max_side=24),
+    elements=st.integers(min_value=0, max_value=0xFFFF),
+)
+
+small_floats = hnp.arrays(
+    dtype=np.float64,
+    shape=st.tuples(st.integers(4, 16), st.integers(4, 16)),
+    elements=st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, width=32),
+)
+
+
+class TestBitProperties:
+    @given(uint16_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_popcount_bounds(self, words):
+        counts = popcount(words)
+        assert np.all(counts >= 0)
+        assert np.all(counts <= 16)
+
+    @given(uint16_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_hamming_distance_to_self_is_zero(self, words):
+        assert np.all(hamming_distance(words, words) == 0)
+
+    @given(uint16_arrays, st.integers(0, 0xFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_hamming_distance_symmetry(self, words, xor_value):
+        other = np.bitwise_xor(words, np.uint16(xor_value))
+        np.testing.assert_array_equal(
+            hamming_distance(words, other), hamming_distance(other, words)
+        )
+
+    @given(uint16_arrays, st.integers(0, 0xFFFF))
+    @settings(max_examples=60, deadline=None)
+    def test_toggle_fraction_in_unit_interval(self, words, xor_value):
+        other = np.bitwise_xor(words, np.uint16(xor_value))
+        fraction = toggle_fraction(words, other)
+        assert 0.0 <= fraction <= 1.0
+
+    @given(uint16_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_alignment_complement_relation(self, words):
+        complement = np.bitwise_xor(words, np.uint16(0xFFFF))
+        assert bit_alignment(words, complement) == pytest.approx(0.0, abs=1e-12)
+        assert bit_alignment(words, words) == pytest.approx(1.0)
+
+    @given(
+        hnp.arrays(
+            dtype=np.uint16,
+            shape=st.tuples(st.integers(2, 10), st.integers(2, 10)),
+            elements=st.integers(0, 0xFFFF),
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_stream_toggle_bounded(self, words):
+        for axis in (0, 1):
+            assert 0.0 <= toggle_fraction_along_axis(words, axis) <= 1.0
+
+
+class TestDTypeProperties:
+    @given(small_floats, st.sampled_from(["fp32", "fp16", "fp16_t", "bf16"]))
+    @settings(max_examples=50, deadline=None)
+    def test_quantization_idempotent(self, values, dtype_name):
+        spec = get_dtype(dtype_name)
+        once = spec.quantize(values)
+        twice = spec.quantize(once)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(small_floats)
+    @settings(max_examples=50, deadline=None)
+    def test_fp32_quantization_is_close(self, values):
+        quantized = get_dtype("fp32").quantize(values)
+        np.testing.assert_allclose(quantized, values, rtol=1e-6, atol=1e-30)
+
+    @given(small_floats, st.sampled_from(["int8", "int32"]))
+    @settings(max_examples=50, deadline=None)
+    def test_integer_quantization_in_range(self, values, dtype_name):
+        spec = get_dtype(dtype_name)
+        quantized = spec.quantize(values)
+        low, high = spec.representable_range
+        assert quantized.min() >= low
+        assert quantized.max() <= high
+        np.testing.assert_array_equal(quantized, np.rint(quantized))
+
+    @given(small_floats, st.sampled_from(["fp32", "fp16", "bf16", "int8"]))
+    @settings(max_examples=50, deadline=None)
+    def test_encode_decode_consistency(self, values, dtype_name):
+        spec = get_dtype(dtype_name)
+        words = spec.encode(values)
+        np.testing.assert_array_equal(spec.decode(words), spec.quantize(values))
+
+
+class TestPatternProperties:
+    @given(small_floats, st.floats(0.0, 1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_sorting_preserves_multiset(self, values, fraction):
+        for sorter in (sort_rows, sort_columns, sort_within_rows):
+            sorted_values = sorter(values, fraction)
+            np.testing.assert_allclose(
+                np.sort(sorted_values.reshape(-1)), np.sort(values.reshape(-1))
+            )
+
+    @given(small_floats, st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_sparsity_fraction_matches_request(self, values, sparsity, seed):
+        # Ensure no accidental zeros in the input so the count is exact.
+        values = np.where(values == 0.0, 1.0, values)
+        transform = SparsityTransform(sparsity)
+        out = transform.apply(values, get_dtype("fp32"), derive_rng(seed))
+        expected = int(round(sparsity * values.size))
+        assert int((out == 0).sum()) == expected
+
+    @given(st.floats(0.0, 1.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_bit_flip_output_representable(self, probability, seed):
+        spec = get_dtype("fp16")
+        values = np.full((12, 12), 37.5)
+        out = RandomBitFlipTransform(probability).apply(values, spec, derive_rng(seed))
+        np.testing.assert_array_equal(spec.quantize(out), out)
+
+    @given(st.integers(0, 16), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_randomize_lsb_count_limits_changed_bits(self, count, seed):
+        spec = get_dtype("fp16")
+        values = np.full((8, 8), 91.0)
+        out = RandomizeLowBitsTransform(count=count).apply(values, spec, derive_rng(seed))
+        changed = np.bitwise_xor(spec.encode(values), spec.encode(out))
+        if count == 0:
+            assert int(changed.max()) == 0
+        else:
+            assert int(np.bitwise_or.reduce(changed.reshape(-1))) < (1 << count)
+
+
+class TestRngAndStatsProperties:
+    @given(st.integers(0, 2**40), st.lists(st.text(max_size=8), max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_derive_seed_stable_and_bounded(self, base, keys):
+        first = derive_seed(base, *keys)
+        second = derive_seed(base, *keys)
+        assert first == second
+        assert 0 <= first < 2**63
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=50
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_summary_bounds(self, values):
+        summary = summarize(values)
+        assert summary.minimum <= summary.mean <= summary.maximum
+        assert summary.std >= 0.0
+        assert summary.count == len(values)

@@ -1,0 +1,81 @@
+"""Tests of the top-level public API (what README and examples rely on)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+
+
+class TestPackageSurface:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing export {name}"
+
+    def test_paper_dtypes_constant(self):
+        assert repro.PAPER_DTYPES == ("fp32", "fp16", "fp16_t", "int8")
+
+    def test_list_helpers(self):
+        assert "a100" in repro.list_gpus()
+        assert "fp16_t" in repro.list_dtypes()
+        assert "sorted_rows" in repro.list_patterns()
+
+
+class TestMeasureGemmPower:
+    def test_default_call(self, quiet_telemetry):
+        result = repro.measure_gemm_power(
+            matrix_size=96, seeds=1, telemetry=quiet_telemetry, include_process_variation=False
+        )
+        assert result.mean_power_watts > repro.get_gpu_spec("a100").idle_watts
+
+    def test_pattern_parameters_forwarded(self, quiet_telemetry):
+        dense = repro.measure_gemm_power(
+            matrix_size=96, seeds=1, telemetry=quiet_telemetry, include_process_variation=False
+        )
+        sparse = repro.measure_gemm_power(
+            pattern="sparsity",
+            pattern_params={"sparsity": 1.0},
+            matrix_size=96,
+            seeds=1,
+            telemetry=quiet_telemetry,
+            include_process_variation=False,
+        )
+        assert sparse.mean_power_watts < dense.mean_power_watts
+
+    def test_gpu_and_dtype_selection(self, quiet_telemetry):
+        result = repro.measure_gemm_power(
+            gpu="h100",
+            dtype="fp32",
+            matrix_size=96,
+            seeds=1,
+            telemetry=quiet_telemetry,
+            include_process_variation=False,
+        )
+        assert result.config["device"]["name"] == "h100"
+        assert result.config["dtype"] == "fp32"
+
+    def test_invalid_pattern_raises_repro_error(self):
+        with pytest.raises(repro.ReproError):
+            repro.measure_gemm_power(pattern="nonexistent", matrix_size=96)
+
+    def test_run_sweep_public_entry(self, quiet_telemetry):
+        config = repro.ExperimentConfig(
+            pattern_family="sparsity",
+            matrix_size=96,
+            seeds=1,
+            telemetry=quiet_telemetry,
+            include_process_variation=False,
+        )
+        sweep = repro.run_sweep(config, "sparsity", [0.0, 1.0])
+        assert sweep.powers()[1] < sweep.powers()[0]
+
+    def test_reference_gemm_exposed(self, rng):
+        problem = repro.GemmProblem(n=8, m=8, k=8, dtype="fp32", transpose_b=False)
+        operands = repro.GemmOperands(
+            problem=problem, a=rng.normal(size=(8, 8)), b_stored=rng.normal(size=(8, 8))
+        )
+        result = repro.reference_gemm(operands)
+        assert result.shape == (8, 8)

@@ -1,0 +1,79 @@
+"""Unit tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util import rng as rng_mod
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert rng_mod.derive_seed(42, "a", 1) == rng_mod.derive_seed(42, "a", 1)
+
+    def test_different_keys_differ(self):
+        assert rng_mod.derive_seed(42, "a") != rng_mod.derive_seed(42, "b")
+
+    def test_different_base_seeds_differ(self):
+        assert rng_mod.derive_seed(1, "x") != rng_mod.derive_seed(2, "x")
+
+    def test_key_order_matters(self):
+        assert rng_mod.derive_seed(0, "a", "b") != rng_mod.derive_seed(0, "b", "a")
+
+    def test_seed_fits_in_63_bits(self):
+        for base in (0, 1, 2**40, -5):
+            seed = rng_mod.derive_seed(base, "k")
+            assert 0 <= seed < 2**63
+
+
+class TestDeriveRng:
+    def test_reproducible_stream(self):
+        a = rng_mod.derive_rng(7, "stream").normal(size=5)
+        b = rng_mod.derive_rng(7, "stream").normal(size=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_independent_streams(self):
+        a = rng_mod.derive_rng(7, "one").normal(size=5)
+        b = rng_mod.derive_rng(7, "two").normal(size=5)
+        assert not np.allclose(a, b)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(rng_mod.spawn_rngs(3, 4)) == 4
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            rng_mod.spawn_rngs(3, -1)
+
+    def test_streams_differ(self):
+        gens = rng_mod.spawn_rngs(3, 3, "group")
+        draws = [g.integers(0, 2**31) for g in gens]
+        assert len(set(draws)) == 3
+
+
+class TestSamplingHelpers:
+    def test_shuffled_indices_is_permutation(self):
+        gen = np.random.default_rng(0)
+        indices = rng_mod.shuffled_indices(gen, 10)
+        assert sorted(indices.tolist()) == list(range(10))
+
+    def test_sample_without_replacement_distinct(self):
+        gen = np.random.default_rng(0)
+        sample = rng_mod.sample_without_replacement(gen, 100, 20)
+        assert len(set(sample.tolist())) == 20
+
+    def test_sample_larger_than_population(self):
+        gen = np.random.default_rng(0)
+        sample = rng_mod.sample_without_replacement(gen, 5, 50)
+        assert sorted(sample.tolist()) == list(range(5))
+
+    def test_iter_seeds_unique(self):
+        seeds = list(rng_mod.iter_seeds(11, 8))
+        assert len(set(seeds)) == 8
+
+    def test_as_seed_sequence_reproducible(self):
+        a = rng_mod.as_seed_sequence(5, ("x",)).entropy
+        b = rng_mod.as_seed_sequence(5, ("x",)).entropy
+        assert a == b

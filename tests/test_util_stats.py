@@ -1,0 +1,118 @@
+"""Unit tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util import stats
+
+
+class TestSummarize:
+    def test_basic_statistics(self):
+        summary = stats.summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value(self):
+        summary = stats.summarize([5.0])
+        assert summary.std == 0.0
+        assert summary.sem == 0.0
+
+    def test_empty_is_nan(self):
+        summary = stats.summarize([])
+        assert math.isnan(summary.mean)
+
+    def test_ci95_contains_mean(self):
+        summary = stats.summarize([10.0, 12.0, 11.0, 13.0])
+        low, high = summary.ci95()
+        assert low <= summary.mean <= high
+
+    def test_as_dict_keys(self):
+        d = stats.summarize([1.0, 2.0]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "max", "sem"}
+
+
+class TestConfidenceInterval:
+    def test_symmetric_around_mean(self):
+        low, high = stats.confidence_interval([2.0, 4.0, 6.0, 8.0])
+        assert (low + high) / 2 == pytest.approx(5.0)
+
+    def test_wider_at_higher_level(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        low95, high95 = stats.confidence_interval(values, 0.95)
+        low99, high99 = stats.confidence_interval(values, 0.99)
+        assert (high99 - low99) > (high95 - low95)
+
+    def test_invalid_level_raises(self):
+        with pytest.raises(ValueError):
+            stats.confidence_interval([1.0], level=1.5)
+
+
+class TestTrimLeading:
+    def test_trim_by_count(self):
+        trimmed = stats.trim_leading([1, 2, 3, 4, 5], count=2)
+        assert trimmed.tolist() == [3, 4, 5]
+
+    def test_trim_by_fraction(self):
+        trimmed = stats.trim_leading(list(range(10)), fraction=0.3)
+        assert trimmed.tolist() == list(range(3, 10))
+
+    def test_never_empties_series(self):
+        trimmed = stats.trim_leading([1.0, 2.0], count=10)
+        assert trimmed.size == 1
+
+    def test_invalid_fraction_raises(self):
+        with pytest.raises(ValueError):
+            stats.trim_leading([1.0], fraction=1.0)
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            stats.trim_leading([1.0], count=-1)
+
+
+class TestRelativeChangeAndGeomean:
+    def test_relative_change(self):
+        assert stats.relative_change(100.0, 90.0) == pytest.approx(-0.1)
+
+    def test_relative_change_zero_baseline(self):
+        with pytest.raises(ValueError):
+            stats.relative_change(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert stats.geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            stats.geometric_mean([1.0, 0.0])
+
+    def test_geometric_mean_empty_is_nan(self):
+        assert math.isnan(stats.geometric_mean([]))
+
+
+class TestCorrelations:
+    def test_pearson_perfect_positive(self):
+        assert stats.pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_pearson_perfect_negative(self):
+        assert stats.pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(-1.0)
+
+    def test_pearson_constant_series_is_zero(self):
+        assert stats.pearson_correlation([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_pearson_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            stats.pearson_correlation([1, 2], [1, 2, 3])
+
+    def test_spearman_monotonic_nonlinear(self):
+        x = [1, 2, 3, 4, 5]
+        y = [math.exp(v) for v in x]
+        assert stats.spearman_correlation(x, y) == pytest.approx(1.0)
+
+    def test_pearson_short_series_nan(self):
+        assert math.isnan(stats.pearson_correlation([1.0], [2.0]))

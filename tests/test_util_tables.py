@@ -1,0 +1,125 @@
+"""Unit tests for repro.util.tables and repro.util.validation and logging."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.util import tables, validation
+from repro.util.logging import enable_console_logging, get_logger
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = tables.format_table(["a", "b"], [[1, 2.5], [3, 4.25]])
+        assert "a" in text and "b" in text
+        assert "2.500" in text and "4.250" in text
+
+    def test_title_rendered(self):
+        text = tables.format_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            tables.format_table(["a", "b"], [[1]])
+
+    def test_precision_respected(self):
+        text = tables.format_table(["v"], [[3.14159]], precision=1)
+        assert "3.1" in text and "3.14" not in text
+
+    def test_column_alignment(self):
+        text = tables.format_table(["name", "value"], [["x", 1], ["longer", 2]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[:2])) == 1
+
+
+class TestFormatSeriesChart:
+    def test_contains_marker_and_legend(self):
+        text = tables.format_series_chart([0, 1, 2], {"power": [10.0, 20.0, 15.0]})
+        assert "* = power" in text
+        assert "*" in text
+
+    def test_multiple_series_get_distinct_markers(self):
+        text = tables.format_series_chart(
+            [0, 1], {"one": [1.0, 2.0], "two": [2.0, 1.0]}
+        )
+        assert "* = one" in text and "o = two" in text
+
+    def test_empty_series_returns_title(self):
+        assert tables.format_series_chart([], {}, title="t") == "t"
+
+    def test_constant_series_does_not_crash(self):
+        text = tables.format_series_chart([0, 1, 2], {"flat": [5.0, 5.0, 5.0]})
+        assert "flat" in text
+
+    def test_small_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            tables.format_series_chart([0], {"s": [1.0]}, width=2, height=2)
+
+
+class TestFormatKv:
+    def test_alignment_and_values(self):
+        text = tables.format_kv({"short": 1, "much_longer_key": 2.5})
+        lines = text.splitlines()
+        assert lines[0].index(":") == lines[1].index(":")
+
+    def test_empty_returns_title(self):
+        assert tables.format_kv({}, title="hello") == "hello"
+
+
+class TestValidation:
+    def test_require_positive(self):
+        assert validation.require_positive(1.5, "x") == 1.5
+        with pytest.raises(ConfigurationError):
+            validation.require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        assert validation.require_non_negative(0, "x") == 0
+        with pytest.raises(ConfigurationError):
+            validation.require_non_negative(-1, "x")
+
+    def test_require_in_range(self):
+        assert validation.require_in_range(5, 0, 10, "x") == 5
+        with pytest.raises(ConfigurationError):
+            validation.require_in_range(11, 0, 10, "x")
+
+    def test_require_fraction(self):
+        assert validation.require_fraction(0.5, "x") == 0.5
+        with pytest.raises(ConfigurationError):
+            validation.require_fraction(1.5, "x")
+
+    def test_require_one_of(self):
+        assert validation.require_one_of("a", ["a", "b"], "x") == "a"
+        with pytest.raises(ConfigurationError):
+            validation.require_one_of("c", ["a", "b"], "x")
+
+    def test_require_matrix(self):
+        mat = validation.require_matrix(np.ones((2, 3)), "m")
+        assert mat.shape == (2, 3)
+        with pytest.raises(ConfigurationError):
+            validation.require_matrix(np.ones(3), "m")
+        with pytest.raises(ConfigurationError):
+            validation.require_matrix(np.ones((0, 3)), "m")
+
+    def test_require_power_of_two(self):
+        assert validation.require_power_of_two(64, "n") == 64
+        with pytest.raises(ConfigurationError):
+            validation.require_power_of_two(48, "n")
+        with pytest.raises(ConfigurationError):
+            validation.require_power_of_two(0, "n")
+
+
+class TestLogging:
+    def test_get_logger_namespacing(self):
+        assert get_logger().name == "repro"
+        assert get_logger("activity").name == "repro.activity"
+        assert get_logger("repro.power").name == "repro.power"
+
+    def test_enable_console_logging_idempotent(self):
+        logger = enable_console_logging(logging.WARNING)
+        handler_count = len(logger.handlers)
+        enable_console_logging(logging.WARNING)
+        assert len(logger.handlers) == handler_count
