@@ -2,31 +2,71 @@
 
 These are conventional timing benchmarks (multiple rounds) covering the hot
 paths of the library: bit-level popcount/toggle kernels, pattern generation,
-switching-activity estimation, and a full harness run.  They guard against
-regressions that would make the paper-scale (2048^2) reproduction
-impractically slow.
+switching-activity estimation (sequential and batched), a full harness run,
+and cold-versus-warm sweep execution through the content-addressed result
+cache.  They guard against regressions that would make the paper-scale
+(2048^2) reproduction impractically slow.
+
+``REPRO_BENCH_SIZE`` overrides the matrix dimension (default 1024); CI's
+smoke job runs everything once at size 64 with ``--benchmark-disable`` so
+crashes fail the build without timing flakiness.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
-from repro.activity.engine import activity_from_matrices
+from repro.activity.engine import (
+    activity_from_matrices,
+    estimate_activity_batch,
+)
 from repro.activity.sampler import SamplingConfig
+from repro.cache.store import ExperimentCache
 from repro.dtypes import get_dtype
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import run_experiment
+from repro.experiments.sweep import run_configs, sweep_configs
+from repro.kernels.gemm import GemmOperands, GemmProblem
 from repro.patterns.library import build_pattern
 from repro.telemetry.sampler import TelemetryConfig
 from repro.util.bits import popcount, toggle_fraction_along_axis
 from repro.util.rng import derive_rng
 
-SIZE = 1024
+SIZE = int(os.environ.get("REPRO_BENCH_SIZE", "1024"))
+#: Seed-batch width used by the batched-estimation benchmarks.
+BATCH_SEEDS = 4
 
 
 def _random_words(size):
     rng = derive_rng(5, "perf_words", size)
     return rng.integers(0, 1 << 16, size=(size, size), dtype=np.uint64).astype(np.uint16)
+
+
+def _gaussian_operands(size, count):
+    spec = get_dtype("fp16_t")
+    problem = GemmProblem.square(size, dtype="fp16_t")
+    pattern = build_pattern("gaussian", spec)
+    operands = []
+    for seed in range(count):
+        a = pattern.generate(problem.a_shape, spec, derive_rng(2024, "A", seed))
+        b = pattern.generate(problem.b_storage_shape, spec, derive_rng(2024, "B", seed))
+        operands.append(GemmOperands(problem=problem, a=a, b_stored=b))
+    return operands
+
+
+def _quiet_config(**overrides):
+    defaults = dict(
+        pattern_family="gaussian",
+        dtype="fp16_t",
+        matrix_size=max(SIZE // 2, 64),
+        seeds=1,
+        telemetry=TelemetryConfig(noise_std_watts=0.0, drift_watts=0.0),
+        include_process_variation=False,
+    )
+    defaults.update(overrides)
+    return ExperimentConfig(**defaults)
 
 
 def bench_popcount_1m_words(benchmark):
@@ -58,14 +98,46 @@ def bench_activity_estimation_1024(benchmark):
     assert 0.0 < report.operand_activity <= 1.2
 
 
+def bench_activity_estimation_batched(benchmark):
+    """All seeds of one config through the stacked batch engine at once."""
+    operands = _gaussian_operands(SIZE // 2, BATCH_SEEDS)
+    sampling = SamplingConfig(output_samples=128)
+    reports = benchmark(estimate_activity_batch, operands, sampling)
+    assert len(reports) == BATCH_SEEDS
+    assert all(0.0 < r.operand_activity <= 1.2 for r in reports)
+
+
 def bench_full_experiment_512(benchmark):
-    config = ExperimentConfig(
-        pattern_family="gaussian",
-        dtype="fp16_t",
-        matrix_size=512,
-        seeds=1,
-        telemetry=TelemetryConfig(noise_std_watts=0.0, drift_watts=0.0),
-        include_process_variation=False,
+    config = _quiet_config(matrix_size=max(SIZE // 2, 128))
+    # cache=None: this measures the harness itself, not the cache.
+    result = benchmark(run_experiment, config, None)
+    assert result.mean_power_watts > 25.0
+
+
+def bench_sweep_cold(benchmark):
+    """4-point sparsity sweep with caching disabled (every point computed)."""
+    configs = sweep_configs(
+        _quiet_config(pattern_family="sparsity", matrix_size=max(SIZE // 4, 64)),
+        "sparsity",
+        [0.0, 0.25, 0.5, 0.75],
     )
-    result = benchmark(run_experiment, config)
-    assert result.mean_power_watts > 50.0
+    results = benchmark(run_configs, configs, 1, None)
+    assert len(results) == 4
+
+
+def bench_sweep_warm_cache(benchmark):
+    """The same sweep served entirely from a primed result cache.
+
+    Compare against ``bench_sweep_cold``: the ratio is the speedup repeated
+    figure/benchmark runs get from the content-addressed cache.
+    """
+    configs = sweep_configs(
+        _quiet_config(pattern_family="sparsity", matrix_size=max(SIZE // 4, 64)),
+        "sparsity",
+        [0.0, 0.25, 0.5, 0.75],
+    )
+    cache = ExperimentCache(max_entries=16)
+    run_configs(configs, cache=cache)  # prime
+    results = benchmark(run_configs, configs, 1, cache)
+    assert len(results) == 4
+    assert cache.stats.hits >= 4

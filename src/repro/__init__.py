@@ -21,14 +21,23 @@ reproduction harness.
 
 from __future__ import annotations
 
-from repro.activity import ActivityReport, SamplingConfig, estimate_activity
+from repro._version import __version__
+from repro.activity import (
+    ActivityReport,
+    SamplingConfig,
+    estimate_activity,
+    estimate_activity_batch,
+)
+from repro.cache import CacheStats, ExperimentCache, experiment_fingerprint
 from repro.dtypes import PAPER_DTYPES, get_dtype, list_dtypes
 from repro.errors import ReproError
 from repro.experiments import (
     ExperimentConfig,
     ExperimentResult,
     FigureResult,
+    RunStats,
     SweepResult,
+    run_configs,
     run_experiment,
     run_sweep,
 )
@@ -39,14 +48,16 @@ from repro.power import PowerModel
 from repro.runtime import RuntimeModel
 from repro.telemetry import PowerTrace
 
-__version__ = "1.0.0"
-
 __all__ = [
     "__version__",
     "ReproError",
     "ActivityReport",
     "SamplingConfig",
     "estimate_activity",
+    "estimate_activity_batch",
+    "ExperimentCache",
+    "CacheStats",
+    "experiment_fingerprint",
     "get_dtype",
     "list_dtypes",
     "PAPER_DTYPES",
@@ -66,10 +77,33 @@ __all__ = [
     "ExperimentResult",
     "SweepResult",
     "FigureResult",
+    "RunStats",
     "run_experiment",
+    "run_configs",
     "run_sweep",
     "measure_gemm_power",
+    "measure_gemm_power_batch",
 ]
+
+
+def _build_config(
+    pattern: str = "gaussian",
+    pattern_params: dict | None = None,
+    dtype: str = "fp16_t",
+    gpu: str = "a100",
+    matrix_size: int = 512,
+    seeds: int = 3,
+    **overrides: object,
+) -> ExperimentConfig:
+    config = ExperimentConfig(
+        pattern_family=pattern,
+        pattern_params=pattern_params or {},
+        dtype=dtype,
+        gpu=gpu,
+        matrix_size=matrix_size,
+        seeds=seeds,
+    )
+    return config.with_overrides(**overrides) if overrides else config
 
 
 def measure_gemm_power(
@@ -85,16 +119,39 @@ def measure_gemm_power(
 
     This is the one-call public entry point: it builds an
     :class:`~repro.experiments.config.ExperimentConfig`, runs the
-    measurement harness, and returns the aggregated result.
+    measurement harness (serving repeats from the content-addressed result
+    cache), and returns the aggregated result.
     """
-    config = ExperimentConfig(
-        pattern_family=pattern,
-        pattern_params=pattern_params or {},
-        dtype=dtype,
-        gpu=gpu,
-        matrix_size=matrix_size,
-        seeds=seeds,
+    return run_experiment(
+        _build_config(
+            pattern=pattern,
+            pattern_params=pattern_params,
+            dtype=dtype,
+            gpu=gpu,
+            matrix_size=matrix_size,
+            seeds=seeds,
+            **overrides,
+        )
     )
-    if overrides:
-        config = config.with_overrides(**overrides)
-    return run_experiment(config)
+
+
+def measure_gemm_power_batch(
+    workloads: "list[ExperimentConfig | dict]",
+    workers: int = 1,
+    progress: "object | None" = None,
+) -> list[ExperimentResult]:
+    """Measure a batch of workloads in one call.
+
+    Each entry is either an :class:`ExperimentConfig` or a dict of
+    :func:`measure_gemm_power` keyword arguments.  The batch goes through
+    the sweep runner, so identical workloads are computed once, previously
+    measured ones come from the result cache, and ``workers > 1`` fans the
+    remainder out over a process pool.
+    """
+    configs = [
+        workload
+        if isinstance(workload, ExperimentConfig)
+        else _build_config(**workload)
+        for workload in workloads
+    ]
+    return run_configs(configs, workers=workers, progress=progress)

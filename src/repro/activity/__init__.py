@@ -9,11 +9,23 @@ only non-exact quantity is the accumulator/product stream, which is
 computed on a random sample of output positions.
 """
 
-from repro.activity.accumulator import estimate_datapath_activity
-from repro.activity.engine import estimate_activity
-from repro.activity.memory_traffic import estimate_memory_activity
-from repro.activity.multiplier import estimate_multiplier_activity
-from repro.activity.operand_bus import estimate_operand_activity
+from repro.activity.accumulator import (
+    estimate_datapath_activity,
+    estimate_datapath_activity_batch,
+)
+from repro.activity.engine import estimate_activity, estimate_activity_batch
+from repro.activity.memory_traffic import (
+    estimate_memory_activity,
+    estimate_memory_activity_batch,
+)
+from repro.activity.multiplier import (
+    estimate_multiplier_activity,
+    estimate_multiplier_activity_batch,
+)
+from repro.activity.operand_bus import (
+    estimate_operand_activity,
+    estimate_operand_activity_batch,
+)
 from repro.activity.report import ActivityReport
 from repro.activity.sampler import SamplingConfig
 
@@ -21,8 +33,13 @@ __all__ = [
     "ActivityReport",
     "SamplingConfig",
     "estimate_activity",
+    "estimate_activity_batch",
     "estimate_operand_activity",
+    "estimate_operand_activity_batch",
     "estimate_multiplier_activity",
+    "estimate_multiplier_activity_batch",
     "estimate_datapath_activity",
+    "estimate_datapath_activity_batch",
     "estimate_memory_activity",
+    "estimate_memory_activity_batch",
 ]

@@ -21,11 +21,15 @@ import numpy as np
 
 from repro.activity.sampler import SamplingConfig
 from repro.activity.toggles import RANDOM_TOGGLE_FRACTION, encode_for_accumulator
-from repro.kernels.schedule import OperandStreams
-from repro.util.bits import toggle_fraction_along_axis
+from repro.kernels.schedule import OperandStreams, StackedOperandStreams
+from repro.util.bits import popcount, toggle_fraction_along_axis, toggle_fraction_per_slice
 from repro.util.rng import derive_rng
 
-__all__ = ["DatapathActivity", "estimate_datapath_activity"]
+__all__ = [
+    "DatapathActivity",
+    "estimate_datapath_activity",
+    "estimate_datapath_activity_batch",
+]
 
 
 @dataclass(frozen=True)
@@ -68,8 +72,6 @@ def estimate_datapath_activity(
     a_pair_words = streams.dtype.encode(a_rows)
     b_pair_words = streams.dtype.encode(b_cols)
     xor = np.bitwise_xor(a_pair_words, b_pair_words)
-    from repro.util.bits import popcount  # local import avoids cycle at module load
-
     mean_distance = float(popcount(xor).mean())
     bit_alignment = 1.0 - mean_distance / streams.dtype.bits
 
@@ -81,3 +83,75 @@ def estimate_datapath_activity(
         output_samples=int(rows.size),
         activity=activity,
     )
+
+
+def estimate_datapath_activity_batch(
+    streams: StackedOperandStreams,
+    config: SamplingConfig | None = None,
+    seeds: "list[int] | range | None" = None,
+) -> list[DatapathActivity]:
+    """Stacked fast path: datapath activity for a whole batch.
+
+    Output positions are sampled per invocation with the same derived RNGs
+    as the scalar path; the product/partial-sum streams, accumulator
+    encoding and toggle counting then run in single vectorized passes over
+    the ``(S, samples, K)`` stack.  Each entry matches
+    :func:`estimate_datapath_activity` with the corresponding seed bit for
+    bit.
+    """
+    if config is None:
+        config = SamplingConfig()
+    seed_list = list(seeds) if seeds is not None else list(range(streams.batch))
+    if len(seed_list) != streams.batch:
+        raise ValueError(
+            f"got {len(seed_list)} seeds for a batch of {streams.batch} invocations"
+        )
+    if streams.batch == 0:
+        return []
+    k = config.effective_k(streams.k)
+
+    a_rows_parts = []
+    b_cols_parts = []
+    sample_counts = []
+    for index, seed in enumerate(seed_list):
+        rng = derive_rng(config.seed, "datapath", seed)
+        view = streams.slice(index)
+        rows, cols = view.sample_output_positions(rng, config.output_samples)
+        a_rows_parts.append(view.a_used[rows, :k])
+        b_cols_parts.append(view.b_used[:k, cols].T)
+        sample_counts.append(int(rows.size))
+
+    a_rows = np.stack(a_rows_parts)  # (S, samples, k)
+    b_cols = np.stack(b_cols_parts)  # (S, samples, k)
+
+    with np.errstate(over="ignore", invalid="ignore"):
+        products = a_rows * b_cols
+        partial_sums = np.cumsum(products, axis=2)
+
+    product_words = encode_for_accumulator(products, streams.dtype)
+    sum_words = encode_for_accumulator(partial_sums, streams.dtype)
+
+    product_toggles = toggle_fraction_per_slice(product_words, axis=2)
+    accumulator_toggles = toggle_fraction_per_slice(sum_words, axis=2)
+
+    a_pair_words = streams.dtype.encode(a_rows)
+    b_pair_words = streams.dtype.encode(b_cols)
+    pair_distances = popcount(np.bitwise_xor(a_pair_words, b_pair_words))
+
+    out = []
+    for index in range(streams.batch):
+        product_toggle = float(product_toggles[index])
+        accumulator_toggle = float(accumulator_toggles[index])
+        mean_distance = float(pair_distances[index].mean())
+        bit_alignment = 1.0 - mean_distance / streams.dtype.bits
+        activity = 0.5 * (product_toggle + accumulator_toggle) / RANDOM_TOGGLE_FRACTION
+        out.append(
+            DatapathActivity(
+                product_toggle=product_toggle,
+                accumulator_toggle=accumulator_toggle,
+                bit_alignment=bit_alignment,
+                output_samples=sample_counts[index],
+                activity=activity,
+            )
+        )
+    return out

@@ -1,24 +1,67 @@
 """Top-level switching-activity engine.
 
 ``estimate_activity`` combines the per-component estimators into a single
-:class:`~repro.activity.report.ActivityReport` for one GEMM invocation.
+:class:`~repro.activity.report.ActivityReport` for one GEMM invocation;
+``estimate_activity_batch`` does the same for a whole batch of same-shape
+invocations (e.g. all seeds of one experiment configuration) with a single
+stream build and stacked 3-D fast paths through every component estimator.
 """
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.activity.accumulator import estimate_datapath_activity
-from repro.activity.memory_traffic import estimate_memory_activity
-from repro.activity.multiplier import estimate_multiplier_activity
-from repro.activity.operand_bus import estimate_operand_activity
+from repro.activity.accumulator import (
+    estimate_datapath_activity,
+    estimate_datapath_activity_batch,
+)
+from repro.activity.memory_traffic import (
+    estimate_memory_activity,
+    estimate_memory_activity_batch,
+)
+from repro.activity.multiplier import (
+    estimate_multiplier_activity,
+    estimate_multiplier_activity_batch,
+)
+from repro.activity.operand_bus import (
+    estimate_operand_activity,
+    estimate_operand_activity_batch,
+)
 from repro.activity.report import ActivityReport
 from repro.activity.sampler import SamplingConfig
 from repro.errors import ActivityError
 from repro.kernels.gemm import GemmOperands, GemmProblem
-from repro.kernels.schedule import OperandStreams, build_streams
+from repro.kernels.schedule import (
+    OperandStreams,
+    StackedOperandStreams,
+    build_streams,
+    build_streams_stacked,
+)
 
-__all__ = ["estimate_activity", "activity_from_matrices"]
+__all__ = ["estimate_activity", "estimate_activity_batch", "activity_from_matrices"]
+
+#: Per-chunk budget for the batched engine, in bytes of stacked A-operand
+#: data.  The activity estimators are memory-bandwidth bound: stacking more
+#: invocations than fit in cache makes every pass stream from DRAM and is
+#: *slower* than processing seeds one at a time, so the batch is processed
+#: in chunks whose working set stays cache-resident.  Stacking therefore
+#: only engages for small problems, where per-call overhead (not bandwidth)
+#: dominates.
+BATCH_CHUNK_BUDGET_BYTES = 1 << 20
+
+
+def recommended_chunk(per_invocation_values: int) -> int:
+    """How many invocations of ``per_invocation_values`` float64 operand
+    values to stack per pass (see :data:`BATCH_CHUNK_BUDGET_BYTES`).
+
+    Callers that generate operands on the fly (e.g. the experiment harness)
+    use this to size their generation chunks so peak memory stays bounded by
+    the chunk, not the whole batch.
+    """
+    per_invocation_bytes = per_invocation_values * 8
+    return max(1, BATCH_CHUNK_BUDGET_BYTES // max(per_invocation_bytes, 1))
 
 
 def estimate_activity(
@@ -73,6 +116,114 @@ def estimate_activity(
         shape=(streams.n, streams.m, streams.k),
         output_samples=datapath.output_samples,
     )
+
+
+def estimate_activity_batch(
+    operands: "Sequence[GemmOperands] | Sequence[OperandStreams] | StackedOperandStreams",
+    sampling: SamplingConfig | None = None,
+    seeds: "Sequence[int] | range | None" = None,
+    chunk: int | None = None,
+) -> list[ActivityReport]:
+    """Estimate switching activity for a batch of same-shape GEMM invocations.
+
+    This is the vectorized counterpart of calling :func:`estimate_activity`
+    once per invocation: the operand streams are quantized and bit-encoded in
+    one pass per stacked chunk and every component estimator runs its
+    stacked fast path.  The returned reports are bit-for-bit identical to
+    the sequential ones.
+
+    Parameters
+    ----------
+    operands:
+        A sequence of :class:`~repro.kernels.gemm.GemmOperands` (or
+        pre-built :class:`~repro.kernels.schedule.OperandStreams`) sharing
+        shape, dtype and transposition, or an already-stacked
+        :class:`~repro.kernels.schedule.StackedOperandStreams`.
+    sampling:
+        Sampling configuration for the product/accumulator estimator.
+    seeds:
+        Per-invocation sampling seeds; defaults to ``range(batch)``, which is
+        what the measurement harness uses for its seed loop.
+    chunk:
+        How many invocations to stack per pass.  Defaults to an automatic
+        choice that keeps each chunk's working set cache-resident (see
+        :data:`BATCH_CHUNK_BUDGET_BYTES`); pass an explicit value to
+        override.
+    """
+    if isinstance(operands, StackedOperandStreams):
+        return _estimate_stacked(operands, sampling or SamplingConfig(), seeds)
+
+    items = list(operands)
+    if not items:
+        return []
+    if not all(isinstance(op, (GemmOperands, OperandStreams)) for op in items):
+        raise ActivityError(
+            "estimate_activity_batch expects GemmOperands, OperandStreams or "
+            "StackedOperandStreams"
+        )
+    sampling = sampling or SamplingConfig()
+    seed_list = list(seeds) if seeds is not None else list(range(len(items)))
+    if len(seed_list) != len(items):
+        raise ActivityError(
+            f"got {len(seed_list)} seeds for a batch of {len(items)} invocations"
+        )
+    if chunk is None:
+        if isinstance(items[0], GemmOperands):
+            per_invocation = items[0].a.size + items[0].b_stored.size
+        else:
+            per_invocation = items[0].a_used.size + items[0].b_stored.size
+        chunk = recommended_chunk(per_invocation)
+    elif chunk < 1:
+        raise ActivityError(f"chunk must be >= 1, got {chunk}")
+
+    reports: list[ActivityReport] = []
+    for start in range(0, len(items), chunk):
+        stacked = build_streams_stacked(items[start : start + chunk])
+        reports.extend(
+            _estimate_stacked(stacked, sampling, seed_list[start : start + chunk])
+        )
+    return reports
+
+
+def _estimate_stacked(
+    stacked: StackedOperandStreams,
+    sampling: SamplingConfig,
+    seeds: "Sequence[int] | range | None",
+) -> list[ActivityReport]:
+    """Run every component estimator's stacked fast path over one chunk."""
+    if stacked.batch == 0:
+        return []
+    operand_list = estimate_operand_activity_batch(stacked)
+    multiplier_list = estimate_multiplier_activity_batch(stacked)
+    datapath_list = estimate_datapath_activity_batch(stacked, sampling, seeds=seeds)
+    memory_list = estimate_memory_activity_batch(stacked)
+
+    reports = []
+    for operand, multiplier, datapath, memory in zip(
+        operand_list, multiplier_list, datapath_list, memory_list
+    ):
+        reports.append(
+            ActivityReport(
+                operand_activity=operand.activity,
+                multiplier_activity=multiplier.activity,
+                datapath_activity=datapath.activity,
+                memory_activity=memory.activity,
+                operand_toggle_a=operand.toggle_a,
+                operand_toggle_b=operand.toggle_b,
+                multiplier_hw_product=multiplier.hw_product,
+                zero_mac_fraction=multiplier.zero_mac_fraction,
+                product_toggle=datapath.product_toggle,
+                accumulator_toggle=datapath.accumulator_toggle,
+                memory_toggle=memory.toggle,
+                a_hamming_fraction=multiplier.a_hamming_fraction,
+                b_hamming_fraction=multiplier.b_hamming_fraction,
+                bit_alignment=datapath.bit_alignment,
+                dtype=stacked.dtype.name,
+                shape=(stacked.n, stacked.m, stacked.k),
+                output_samples=datapath.output_samples,
+            )
+        )
+    return reports
 
 
 def activity_from_matrices(

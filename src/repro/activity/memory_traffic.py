@@ -12,9 +12,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.activity.toggles import RANDOM_TOGGLE_FRACTION, stream_toggle_fraction
-from repro.kernels.schedule import OperandStreams
+from repro.kernels.schedule import OperandStreams, StackedOperandStreams
+from repro.util.bits import toggle_fraction_per_slice
 
-__all__ = ["MemoryActivity", "estimate_memory_activity"]
+__all__ = ["MemoryActivity", "estimate_memory_activity", "estimate_memory_activity_batch"]
 
 
 @dataclass(frozen=True)
@@ -38,3 +39,26 @@ def estimate_memory_activity(streams: OperandStreams) -> MemoryActivity:
     return MemoryActivity(
         toggle_a=toggle_a, toggle_b=toggle_b, toggle=toggle, activity=activity
     )
+
+
+def estimate_memory_activity_batch(streams: StackedOperandStreams) -> list[MemoryActivity]:
+    """Stacked fast path: storage-order bus toggles for a whole batch.
+
+    Toggle counts are integer sums computed in one pass over the 3-D word
+    stacks, so each entry matches :func:`estimate_memory_activity` on the
+    corresponding slice bit for bit.
+    """
+    toggles_a = toggle_fraction_per_slice(streams.a_words, axis=2)
+    toggles_b = toggle_fraction_per_slice(streams.b_stored_words, axis=2)
+    out = []
+    for ta, tb in zip(toggles_a, toggles_b):
+        toggle = 0.5 * (float(ta) + float(tb))
+        out.append(
+            MemoryActivity(
+                toggle_a=float(ta),
+                toggle_b=float(tb),
+                toggle=toggle,
+                activity=toggle / RANDOM_TOGGLE_FRACTION,
+            )
+        )
+    return out

@@ -21,10 +21,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.activity.toggles import RANDOM_HAMMING_FRACTION
-from repro.kernels.schedule import OperandStreams
+from repro.kernels.schedule import OperandStreams, StackedOperandStreams
 from repro.util.bits import popcount
 
-__all__ = ["MultiplierActivity", "estimate_multiplier_activity"]
+__all__ = [
+    "MultiplierActivity",
+    "estimate_multiplier_activity",
+    "estimate_multiplier_activity_batch",
+]
 
 #: Residual activity of a zero-gated multiply (clocking and control overhead).
 ZERO_GATED_RESIDUAL = 0.04
@@ -43,10 +47,51 @@ class MultiplierActivity:
 
 def estimate_multiplier_activity(streams: OperandStreams) -> MultiplierActivity:
     """Estimate multiplier-array switching activity for one GEMM (exact)."""
-    width = streams.dtype.bits
+    return _from_counts(
+        pc_a=popcount(streams.a_words),
+        pc_b=popcount(streams.b_words),
+        a_used=streams.a_used,
+        b_used=streams.b_used,
+        width=streams.dtype.bits,
+    )
 
-    hw_a = popcount(streams.a_words).astype(np.float64) / width  # (N, K)
-    hw_b = popcount(streams.b_words).astype(np.float64) / width  # (K, M)
+
+def estimate_multiplier_activity_batch(
+    streams: StackedOperandStreams,
+) -> list[MultiplierActivity]:
+    """Stacked fast path: multiplier activity for a whole batch.
+
+    The popcount table lookups (the expensive part) run once over the 3-D
+    word stacks; the cheap per-slice statistics then reuse the exact scalar
+    reduction code, so each entry matches
+    :func:`estimate_multiplier_activity` on the corresponding slice bit for
+    bit.
+    """
+    pc_a = popcount(streams.a_words)  # (S, N, K)
+    pc_b = popcount(streams.b_words)  # (S, K, M)
+    width = streams.dtype.bits
+    return [
+        _from_counts(
+            pc_a=pc_a[index],
+            pc_b=pc_b[index],
+            a_used=streams.a_used[index],
+            b_used=streams.b_used[index],
+            width=width,
+        )
+        for index in range(streams.batch)
+    ]
+
+
+def _from_counts(
+    pc_a: np.ndarray,
+    pc_b: np.ndarray,
+    a_used: np.ndarray,
+    b_used: np.ndarray,
+    width: int,
+) -> MultiplierActivity:
+    """Shared reduction core operating on precomputed per-word popcounts."""
+    hw_a = pc_a.astype(np.float64) / width  # (N, K)
+    hw_b = pc_b.astype(np.float64) / width  # (K, M)
 
     a_hamming = float(hw_a.mean())
     b_hamming = float(hw_b.mean())
@@ -57,8 +102,8 @@ def estimate_multiplier_activity(streams: OperandStreams) -> MultiplierActivity:
     hw_product = float((mean_hw_a_per_k * mean_hw_b_per_k).mean())
 
     # Exact fraction of MACs with at least one zero operand.
-    zero_a_per_k = (streams.a_used == 0.0).mean(axis=0)  # (K,)
-    zero_b_per_k = (streams.b_used == 0.0).mean(axis=1)  # (K,)
+    zero_a_per_k = (a_used == 0.0).mean(axis=0)  # (K,)
+    zero_b_per_k = (b_used == 0.0).mean(axis=1)  # (K,)
     nonzero_pair_per_k = (1.0 - zero_a_per_k) * (1.0 - zero_b_per_k)
     zero_mac_fraction = float(1.0 - nonzero_pair_per_k.mean())
 

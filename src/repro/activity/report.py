@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Mapping
 
 from repro.errors import ActivityError
 
@@ -80,3 +81,18 @@ class ActivityReport:
         data = asdict(self)
         data["shape"] = list(self.shape)
         return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ActivityReport":
+        """Rebuild a report from :meth:`as_dict` output (e.g. a cache file).
+
+        Unknown keys are ignored so reports written by newer code versions
+        still load.
+        """
+        known = {f.name for f in fields(cls)}
+        kwargs = {key: value for key, value in data.items() if key in known}
+        if "shape" in kwargs:
+            kwargs["shape"] = tuple(kwargs["shape"])
+        if "extras" in kwargs and kwargs["extras"] is not None:
+            kwargs["extras"] = dict(kwargs["extras"])
+        return cls(**kwargs)

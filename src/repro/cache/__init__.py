@@ -1,0 +1,56 @@
+"""Content-addressed caching of experiment results.
+
+The measurement pipeline is fully deterministic: an
+:class:`~repro.experiments.config.ExperimentConfig` (plus the code version)
+completely determines its :class:`~repro.experiments.results.ExperimentResult`.
+This package exploits that to avoid recomputation:
+
+* :mod:`repro.cache.fingerprint` — canonical SHA-256 keys over
+  config + seed + code-version, shared by caching and sweep deduplication.
+* :mod:`repro.cache.store` — a bounded in-memory LRU with an optional
+  on-disk JSON backend, plus the process-wide default instance that
+  :func:`repro.run_experiment`, :func:`repro.experiments.sweep.run_configs`
+  and :func:`repro.experiments.sweep.run_sweep` consult automatically.
+
+Typical use::
+
+    from repro.cache import ExperimentCache
+    cache = ExperimentCache(max_entries=256, disk_dir="results/cache")
+    result = repro.run_experiment(config, cache=cache)   # cold: computes
+    result = repro.run_experiment(config, cache=cache)   # warm: cache hit
+    print(cache.stats.hit_rate)
+
+Environment variables: ``REPRO_NO_CACHE=1`` disables the default cache,
+``REPRO_CACHE_DIR`` gives it a disk backend, and
+``REPRO_CACHE_MAX_ENTRIES`` bounds it.
+"""
+
+from repro.cache.fingerprint import (
+    RESULT_SCHEMA_VERSION,
+    canonical_json,
+    code_fingerprint,
+    experiment_fingerprint,
+    fingerprint_payload,
+)
+from repro.cache.store import (
+    DEFAULT_CACHE,
+    CacheStats,
+    ExperimentCache,
+    get_default_cache,
+    resolve_cache,
+    set_default_cache,
+)
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical_json",
+    "code_fingerprint",
+    "experiment_fingerprint",
+    "fingerprint_payload",
+    "CacheStats",
+    "ExperimentCache",
+    "DEFAULT_CACHE",
+    "get_default_cache",
+    "set_default_cache",
+    "resolve_cache",
+]

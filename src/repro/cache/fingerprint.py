@@ -1,0 +1,111 @@
+"""Content-addressed fingerprints for experiment configurations.
+
+A fingerprint is the SHA-256 digest of a canonical JSON rendering of
+everything that determines an experiment's output: the full configuration
+(workload, device, measurement procedure, estimator and telemetry knobs) and
+a code-version tag.  Two configs with the same fingerprint are guaranteed to
+produce bit-identical :class:`~repro.experiments.results.ExperimentResult`s,
+because the whole pipeline is deterministic given the config — which is what
+makes the fingerprint safe to use as a cache key and as a deduplication key
+for sweeps.
+
+The ``label`` field is deliberately excluded: it is presentation-only
+bookkeeping, and excluding it lets different figure panels share cached
+results for physically identical sweep points (callers re-stamp the label on
+retrieval).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+from typing import TYPE_CHECKING, Any, Mapping
+
+from repro._version import __version__
+from repro.dtypes.registry import get_dtype
+from repro.gpu.specs import get_gpu_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.experiments.config import ExperimentConfig
+
+__all__ = [
+    "RESULT_SCHEMA_VERSION",
+    "canonical_json",
+    "code_fingerprint",
+    "fingerprint_payload",
+    "experiment_fingerprint",
+]
+
+#: Bump when the serialized result layout (or the meaning of any estimator
+#: statistic) changes, so stale on-disk entries are never deserialized into
+#: a newer schema.
+RESULT_SCHEMA_VERSION = 1
+
+
+def canonical_json(payload: Mapping[str, Any]) -> str:
+    """Render ``payload`` as deterministic JSON (sorted keys, fixed separators)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+
+
+def code_fingerprint() -> str:
+    """Version tag mixed into every key: package version + result schema."""
+    return f"{__version__}/schema{RESULT_SCHEMA_VERSION}"
+
+
+def fingerprint_payload(payload: Mapping[str, Any]) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def experiment_fingerprint(
+    config: "ExperimentConfig",
+    seed: int | None = None,
+    code_version: str | None = None,
+) -> str:
+    """Content-addressed key for one experiment configuration.
+
+    Parameters
+    ----------
+    config:
+        The experiment configuration.  Every field that affects the result is
+        included — ``describe()`` output (minus the presentation-only label)
+        plus the sampling/telemetry knobs and the process-variation switch.
+    seed:
+        Optional seed index for sub-experiment granularity (e.g. caching one
+        :class:`~repro.activity.report.ActivityReport` per seed rather than a
+        whole result).  ``None`` keys the whole multi-seed experiment.
+    code_version:
+        Override of :func:`code_fingerprint`, mainly for tests; any change to
+        it invalidates every previously stored entry.
+    """
+    description = {
+        key: value for key, value in config.describe().items() if key != "label"
+    }
+    # The dtype and GPU registries are mutable (register_* with overwrite), so
+    # the names in the config are not enough: fingerprint the resolved specs
+    # too, or re-registering a name would silently serve stale results.
+    dtype_spec = get_dtype(config.dtype)
+    payload: dict[str, Any] = {
+        "kind": "experiment",
+        "config": description,
+        "dtype_spec": {
+            "kind": dtype_spec.kind,
+            "bits": dtype_spec.bits,
+            "tensor_core": dtype_spec.tensor_core,
+            "float_format": asdict(dtype_spec.float_format)
+            if dtype_spec.float_format is not None
+            else None,
+            "int_format": asdict(dtype_spec.int_format)
+            if dtype_spec.int_format is not None
+            else None,
+        },
+        "gpu_spec": asdict(get_gpu_spec(config.gpu)),
+        "sampling": asdict(config.sampling),
+        "telemetry": asdict(config.telemetry),
+        "include_process_variation": config.include_process_variation,
+        "code": code_version if code_version is not None else code_fingerprint(),
+    }
+    if seed is not None:
+        payload["seed"] = int(seed)
+    return fingerprint_payload(payload)

@@ -1,0 +1,218 @@
+"""Content-addressed experiment-result store.
+
+The store maps fingerprints (see :mod:`repro.cache.fingerprint`) to
+:class:`~repro.experiments.results.ExperimentResult` objects through two
+tiers:
+
+* an in-memory LRU bounded by ``max_entries`` (the hot tier every lookup
+  touches first), and
+* an optional on-disk JSON backend (one file per key) that survives the
+  process and feeds the LRU on a memory miss.
+
+Values are defensively deep-copied on both ``put`` and ``get`` so callers
+can mutate results (e.g. re-stamp labels) without corrupting the store.
+
+A process-wide default cache backs :func:`repro.run_experiment` and the
+sweep runner; it is created lazily, bounded, and controlled by the
+``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_ENTRIES``
+environment variables.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.errors import ExperimentError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only; imported lazily at runtime
+    from repro.experiments.results import ExperimentResult
+
+__all__ = [
+    "CacheStats",
+    "ExperimentCache",
+    "DEFAULT_CACHE",
+    "get_default_cache",
+    "set_default_cache",
+    "resolve_cache",
+]
+
+
+@dataclass
+class CacheStats:
+    """Counters describing how a cache instance has been used."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    disk_hits: int = 0
+    disk_errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 with no lookups)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "evictions": self.evictions,
+            "disk_hits": self.disk_hits,
+            "disk_errors": self.disk_errors,
+            "hit_rate": self.hit_rate,
+        }
+
+
+@dataclass
+class ExperimentCache:
+    """Bounded LRU of experiment results with an optional disk backend."""
+
+    max_entries: int = 128
+    disk_dir: "str | Path | None" = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.max_entries < 1:
+            raise ExperimentError(f"max_entries must be >= 1, got {self.max_entries}")
+        self._entries: OrderedDict[str, ExperimentResult] = OrderedDict()
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------ API
+
+    def get(self, key: str) -> "ExperimentResult | None":
+        """Return a copy of the stored result for ``key``, or ``None``."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return copy.deepcopy(entry)
+        entry = self._load_from_disk(key)
+        if entry is not None:
+            self._insert(key, entry)
+            self.stats.hits += 1
+            self.stats.disk_hits += 1
+            return copy.deepcopy(entry)
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, result: "ExperimentResult") -> None:
+        """Store a copy of ``result`` under ``key`` (memory and disk)."""
+        from repro.experiments.results import ExperimentResult
+
+        if not isinstance(result, ExperimentResult):
+            raise ExperimentError(
+                f"ExperimentCache stores ExperimentResult, got {type(result).__name__}"
+            )
+        self._insert(key, copy.deepcopy(result))
+        self.stats.puts += 1
+        if self.disk_dir is not None:
+            path = self._path(key)
+            try:
+                path.write_text(json.dumps(result.as_dict()))
+            except OSError:
+                self.stats.disk_errors += 1
+
+    def clear(self, disk: bool = False) -> None:
+        """Drop every in-memory entry (and the disk files when ``disk``)."""
+        self._entries.clear()
+        if disk and self.disk_dir is not None:
+            for path in Path(self.disk_dir).glob("*.json"):
+                try:
+                    path.unlink()
+                except OSError:
+                    self.stats.disk_errors += 1
+
+    # ------------------------------------------------------------- dunders
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        if key in self._entries:
+            return True
+        return self.disk_dir is not None and self._path(key).exists()
+
+    # ------------------------------------------------------------ internals
+
+    def _insert(self, key: str, result: "ExperimentResult") -> None:
+        self._entries[key] = result
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def _path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return Path(self.disk_dir) / f"{key}.json"
+
+    def _load_from_disk(self, key: str) -> "ExperimentResult | None":
+        from repro.experiments.results import ExperimentResult
+
+        if self.disk_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return ExperimentResult.from_dict(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError, ExperimentError):
+            # A corrupt or incompatible file is treated as a miss; it will be
+            # overwritten by the next put for this key.
+            self.stats.disk_errors += 1
+            return None
+
+
+# --------------------------------------------------------- default instance
+
+#: Sentinel meaning "use the process-wide default cache" in APIs that accept
+#: an optional cache (``None`` always means "no caching").
+DEFAULT_CACHE = object()
+
+_default_cache: ExperimentCache | None = None
+_default_initialized = False
+
+
+def get_default_cache() -> ExperimentCache | None:
+    """Return the lazily created process-wide cache (``None`` if disabled)."""
+    global _default_cache, _default_initialized
+    if not _default_initialized:
+        _default_initialized = True
+        if os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0"):
+            _default_cache = None
+        else:
+            max_entries = int(os.environ.get("REPRO_CACHE_MAX_ENTRIES", "128"))
+            disk_dir = os.environ.get("REPRO_CACHE_DIR") or None
+            _default_cache = ExperimentCache(max_entries=max_entries, disk_dir=disk_dir)
+    return _default_cache
+
+
+def set_default_cache(cache: ExperimentCache | None) -> None:
+    """Replace the process-wide cache (``None`` disables default caching)."""
+    global _default_cache, _default_initialized
+    _default_cache = cache
+    _default_initialized = True
+
+
+def resolve_cache(cache: "ExperimentCache | None | object") -> ExperimentCache | None:
+    """Resolve a ``cache`` argument: sentinel → default, ``None`` → disabled."""
+    if cache is DEFAULT_CACHE:
+        return get_default_cache()
+    if cache is None or isinstance(cache, ExperimentCache):
+        return cache
+    raise ExperimentError(
+        f"cache must be an ExperimentCache, None or DEFAULT_CACHE, got {type(cache).__name__}"
+    )

@@ -9,7 +9,7 @@ A and B drawn from the same pattern but different seeds.
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ExperimentRunner, run_experiment
 from repro.experiments.results import ExperimentResult, FigureResult, SeedMeasurement, SweepResult
-from repro.experiments.sweep import run_configs, run_sweep
+from repro.experiments.sweep import RunStats, run_configs, run_sweep
 
 __all__ = [
     "ExperimentConfig",
@@ -19,6 +19,7 @@ __all__ = [
     "SeedMeasurement",
     "SweepResult",
     "FigureResult",
+    "RunStats",
     "run_sweep",
     "run_configs",
 ]

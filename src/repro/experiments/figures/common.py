@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.dtypes.registry import PAPER_DTYPES, get_dtype
 from repro.errors import ExperimentError

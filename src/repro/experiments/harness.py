@@ -4,24 +4,38 @@ Reproduces the paper's measurement loop for one configuration:
 
 1. For each seed, generate A and B from the configured pattern (same
    pattern, different seeds; B stored transposed unless disabled).
-2. Plan the CUTLASS-style kernel launch and estimate switching activity.
+2. Plan the CUTLASS-style kernel launch and estimate switching activity —
+   all seeds of the configuration share one pattern/launch/monitor build and
+   go through the batched activity engine in a single call.
 3. Run the power model (with TDP throttling) and the runtime model.
 4. Simulate the DCGM 100 ms power trace for the full iteration loop, trim
    the first 500 ms of samples, and average the rest.
 5. Aggregate across seeds into an :class:`ExperimentResult`.
+
+``run_experiment`` additionally consults the content-addressed result cache
+(:mod:`repro.cache`) so repeated runs of the same configuration are served
+without recomputation.
 """
 
 from __future__ import annotations
 
 import math
 
-from repro.activity.engine import estimate_activity
+from repro.activity.engine import (
+    estimate_activity,
+    estimate_activity_batch,
+    recommended_chunk,
+)
+from repro.activity.report import ActivityReport
+from repro.cache.fingerprint import experiment_fingerprint
+from repro.cache.store import DEFAULT_CACHE, resolve_cache
 from repro.dtypes.registry import get_dtype
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult, SeedMeasurement
 from repro.gpu.device import Device
 from repro.kernels.gemm import GemmOperands, GemmProblem
-from repro.kernels.launch import plan_launch
+from repro.kernels.launch import KernelLaunch, plan_launch
+from repro.patterns.base import Pattern
 from repro.patterns.library import build_pattern
 from repro.power.energy import EnergyEstimate
 from repro.power.model import PowerModel
@@ -50,8 +64,42 @@ class ExperimentRunner:
     # ------------------------------------------------------------------ API
 
     def run(self) -> ExperimentResult:
-        measurements = [self._run_seed(index) for index in range(self.config.seeds)]
-        description = self.config.describe()
+        """Run all seeds of the configuration through the batched pipeline.
+
+        Problem, pattern, launch plan and telemetry monitor are built once
+        and shared by every seed; switching activity for the whole seed
+        batch is estimated in one :func:`estimate_activity_batch` call.  The
+        per-seed measurements are bit-for-bit identical to running each seed
+        independently.
+        """
+        config = self.config
+        problem = self._build_problem()
+        pattern = self._build_pattern()
+        launch = plan_launch(problem, self.device)
+        monitor = DcgmMonitor(self.device, config=config.telemetry)
+
+        # Generate operands chunk by chunk (matching the batch engine's own
+        # stacking granularity) so peak memory is one chunk of seeds, not the
+        # whole batch — at paper scale a seed's operands are ~70 MB.
+        per_invocation = problem.n * problem.k + problem.m * problem.k
+        chunk = recommended_chunk(per_invocation)
+        reports: list[ActivityReport] = []
+        for start in range(0, config.seeds, chunk):
+            stop = min(start + chunk, config.seeds)
+            operands = [
+                self._generate_operands(problem, index, pattern=pattern)
+                for index in range(start, stop)
+            ]
+            reports.extend(
+                estimate_activity_batch(
+                    operands, sampling=config.sampling, seeds=range(start, stop)
+                )
+            )
+        measurements = [
+            self._measure_seed(index, launch, report, monitor)
+            for index, report in enumerate(reports)
+        ]
+        description = config.describe()
         description["device"] = self.device.describe()
         return ExperimentResult(config=description, measurements=measurements)
 
@@ -63,11 +111,18 @@ class ExperimentRunner:
             size, dtype=self.config.dtype, transpose_b=self.config.transpose_b
         )
 
-    def _generate_operands(self, problem: GemmProblem, seed_index: int) -> GemmOperands:
+    def _build_pattern(self) -> Pattern:
         spec = get_dtype(self.config.dtype)
-        pattern = build_pattern(
+        return build_pattern(
             self.config.pattern_family, spec, **dict(self.config.pattern_params)
         )
+
+    def _generate_operands(
+        self, problem: GemmProblem, seed_index: int, pattern: Pattern | None = None
+    ) -> GemmOperands:
+        spec = get_dtype(self.config.dtype)
+        if pattern is None:
+            pattern = self._build_pattern()
         rng_a = derive_rng(self.config.base_seed, "A", seed_index)
         rng_b = derive_rng(self.config.base_seed, "B", seed_index)
         a = pattern.generate(problem.a_shape, spec, rng_a)
@@ -75,12 +130,23 @@ class ExperimentRunner:
         return GemmOperands(problem=problem, a=a, b_stored=b_stored)
 
     def _run_seed(self, seed_index: int) -> SeedMeasurement:
+        """Run a single seed end to end (the unbatched reference path)."""
         config = self.config
         problem = self._build_problem()
         operands = self._generate_operands(problem, seed_index)
         launch = plan_launch(problem, self.device)
-
         activity = estimate_activity(operands, sampling=config.sampling, seed=seed_index)
+        monitor = DcgmMonitor(self.device, config=config.telemetry)
+        return self._measure_seed(seed_index, launch, activity, monitor)
+
+    def _measure_seed(
+        self,
+        seed_index: int,
+        launch: KernelLaunch,
+        activity: ActivityReport,
+        monitor: DcgmMonitor,
+    ) -> SeedMeasurement:
+        config = self.config
         power = self.power_model.estimate(
             launch,
             activity,
@@ -96,7 +162,6 @@ class ExperimentRunner:
         )
         duration_s = iterations * runtime.iteration_time_s
 
-        monitor = DcgmMonitor(self.device, config=config.telemetry)
         trace_seed = derive_seed(config.base_seed, "trace", seed_index)
         trace = monitor.power_trace(power.watts, duration_s, seed=trace_seed)
         trimmed = trace.trim_warmup(config.warmup_trim_s)
@@ -121,6 +186,25 @@ class ExperimentRunner:
         )
 
 
-def run_experiment(config: ExperimentConfig) -> ExperimentResult:
-    """Convenience wrapper: run a configuration and return its result."""
-    return ExperimentRunner(config).run()
+def run_experiment(
+    config: ExperimentConfig, cache: "object | None" = DEFAULT_CACHE
+) -> ExperimentResult:
+    """Run a configuration, consulting the content-addressed result cache.
+
+    ``cache`` accepts an explicit :class:`~repro.cache.store.ExperimentCache`,
+    ``None`` to force recomputation, or the default sentinel to use the
+    process-wide cache (see :mod:`repro.cache`).  Cache hits return a copy
+    whose label is re-stamped from ``config``, since labels are excluded
+    from the fingerprint.
+    """
+    resolved = resolve_cache(cache)
+    if resolved is None:
+        return ExperimentRunner(config).run()
+    key = experiment_fingerprint(config)
+    hit = resolved.get(key)
+    if hit is not None:
+        hit.config["label"] = config.describe()["label"]
+        return hit
+    result = ExperimentRunner(config).run()
+    resolved.put(key, result)
+    return result

@@ -42,6 +42,21 @@ class SeedMeasurement:
             "activity": self.activity.as_dict(),
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SeedMeasurement":
+        """Rebuild a measurement from :meth:`as_dict` output."""
+        return cls(
+            seed=int(data["seed"]),
+            power_watts=float(data["power_watts"]),
+            unconstrained_power_watts=float(data["unconstrained_power_watts"]),
+            iteration_time_s=float(data["iteration_time_s"]),
+            iteration_energy_j=float(data["iteration_energy_j"]),
+            activity_factor=float(data["activity_factor"]),
+            throttled=bool(data["throttled"]),
+            clock_scale=float(data["clock_scale"]),
+            activity=ActivityReport.from_dict(data["activity"]),
+        )
+
 
 @dataclass
 class ExperimentResult:
@@ -94,6 +109,15 @@ class ExperimentResult:
     @property
     def any_throttled(self) -> bool:
         return any(m.throttled for m in self.measurements)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentResult":
+        """Rebuild a result from :meth:`as_dict` output (the aggregate fields
+        of the serialized form are derived and therefore ignored)."""
+        return cls(
+            config=dict(data["config"]),
+            measurements=[SeedMeasurement.from_dict(m) for m in data["measurements"]],
+        )
 
     def as_dict(self) -> dict[str, Any]:
         return {

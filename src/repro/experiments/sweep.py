@@ -5,19 +5,64 @@ one parameter varied over a list of values.  Runs are embarrassingly
 parallel across sweep points; ``workers > 1`` distributes them over a
 process pool (each point re-creates its device and models locally, so no
 state is shared).
+
+The runner is cache- and duplicate-aware: every configuration is
+fingerprinted (:mod:`repro.cache.fingerprint`), physically identical points
+are computed once, previously computed points are served from the
+content-addressed result cache, and only the remainder is submitted to the
+pool — in chunks, to amortize process start-up and pickling.  A ``progress``
+hook and a :class:`RunStats` out-parameter expose what happened.
 """
 
 from __future__ import annotations
 
+import copy
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Iterable, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
 
+from repro.cache.fingerprint import experiment_fingerprint
+from repro.cache.store import DEFAULT_CACHE, resolve_cache
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.harness import run_experiment
+from repro.experiments.harness import ExperimentRunner
 from repro.experiments.results import ExperimentResult, SweepResult
 
-__all__ = ["run_sweep", "run_configs", "sweep_configs"]
+__all__ = ["RunStats", "run_sweep", "run_configs", "sweep_configs"]
+
+#: Signature of the optional progress hook: ``(done, total, label)`` where
+#: ``done``/``total`` count the *distinct* configurations the runner resolves
+#: (duplicates complete together with their representative when deduplication
+#: is on) and ``label`` names the configuration that just completed or was
+#: served from the cache.
+ProgressHook = Callable[[int, int, str], None]
+
+
+@dataclass
+class RunStats:
+    """What a :func:`run_configs` invocation actually did."""
+
+    #: sweep points requested
+    total: int = 0
+    #: configurations resolved independently: distinct fingerprints when
+    #: deduplication is on, every requested point otherwise
+    unique: int = 0
+    #: distinct configurations served from the result cache
+    cache_hits: int = 0
+    #: distinct configurations actually computed
+    executed: int = 0
+    #: wall-clock time of the whole call, seconds
+    duration_s: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "total": self.total,
+            "unique": self.unique,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "duration_s": self.duration_s,
+        }
 
 
 def sweep_configs(
@@ -50,17 +95,126 @@ def sweep_configs(
     return configs
 
 
+def _run_uncached(config: ExperimentConfig) -> ExperimentResult:
+    """Pool worker entry point: always compute (workers have no shared cache)."""
+    return ExperimentRunner(config).run()
+
+
+def _stamp_label(result: ExperimentResult, config: ExperimentConfig) -> ExperimentResult:
+    """Stamp ``config``'s label onto ``result`` (labels are not fingerprinted)."""
+    result.config["label"] = config.describe()["label"]
+    return result
+
+
 def run_configs(
-    configs: Iterable[ExperimentConfig], workers: int = 1
+    configs: Iterable[ExperimentConfig],
+    workers: int = 1,
+    cache: "object | None" = DEFAULT_CACHE,
+    dedupe: bool = True,
+    chunksize: int | None = None,
+    progress: ProgressHook | None = None,
+    stats: RunStats | None = None,
 ) -> list[ExperimentResult]:
-    """Run a list of configurations, optionally across a process pool."""
+    """Run a list of configurations, optionally across a process pool.
+
+    Parameters
+    ----------
+    configs:
+        The configurations to run; results come back in the same order.
+    workers:
+        Process-pool width.  ``1`` runs inline.
+    cache:
+        An explicit :class:`~repro.cache.store.ExperimentCache`, ``None`` to
+        disable caching, or the default sentinel for the process-wide cache.
+    dedupe:
+        Compute physically identical configurations (same fingerprint,
+        labels aside) only once and fan the result back out.
+    chunksize:
+        Pool submission chunk size; defaults to roughly four chunks per
+        worker, which amortizes pickling without starving the pool.
+    progress:
+        Optional ``(done, total, label)`` hook invoked as distinct
+        configurations complete (see :data:`ProgressHook`).
+    stats:
+        Optional :class:`RunStats` instance filled in place with what the
+        call did (useful alongside the returned results).
+    """
     config_list = list(configs)
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
-    if workers == 1 or len(config_list) <= 1:
-        return [run_experiment(config) for config in config_list]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(run_experiment, config_list))
+    if chunksize is not None and chunksize < 1:
+        raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
+    stats = stats if stats is not None else RunStats()
+    # Reset every counter: a reused RunStats instance must describe this
+    # call only, not accumulate across calls.
+    stats.total = len(config_list)
+    stats.unique = 0
+    stats.cache_hits = 0
+    stats.executed = 0
+    stats.duration_s = 0.0
+    started = time.perf_counter()
+
+    resolved = resolve_cache(cache)
+    results: list[ExperimentResult | None] = [None] * len(config_list)
+
+    # Group indices by fingerprint (order-preserving).  Without deduplication
+    # every index forms its own group, but fingerprints are still the cache
+    # keys for the groups' representatives.
+    groups: dict[str, list[int]] = {}
+    if dedupe or resolved is not None:
+        keys = [experiment_fingerprint(config) for config in config_list]
+    else:
+        keys = [str(index) for index in range(len(config_list))]
+    if dedupe:
+        for index, key in enumerate(keys):
+            groups.setdefault(key, []).append(index)
+    else:
+        for index, key in enumerate(keys):
+            groups.setdefault(f"{key}#{index}", []).append(index)
+    stats.unique = len(groups)
+
+    done = 0
+    total = len(groups)
+
+    def _complete(key: str, indices: list[int], result: ExperimentResult) -> None:
+        nonlocal done
+        for position, index in enumerate(indices):
+            copied = result if position == 0 else copy.deepcopy(result)
+            results[index] = _stamp_label(copied, config_list[index])
+        done += 1
+        if progress is not None:
+            progress(done, total, config_list[indices[0]].describe()["label"])
+
+    pending: list[tuple[str, list[int]]] = []
+    for key, indices in groups.items():
+        cached = resolved.get(key.split("#")[0]) if resolved is not None else None
+        if cached is not None:
+            stats.cache_hits += 1
+            _complete(key, indices, cached)
+        else:
+            pending.append((key, indices))
+
+    if pending:
+        pending_configs = [config_list[indices[0]] for _, indices in pending]
+        if workers == 1 or len(pending_configs) == 1:
+            computed: Iterable[ExperimentResult] = map(_run_uncached, pending_configs)
+        else:
+            if chunksize is None:
+                chunksize = max(1, len(pending_configs) // (workers * 4))
+            pool = ProcessPoolExecutor(max_workers=workers)
+            computed = pool.map(_run_uncached, pending_configs, chunksize=chunksize)
+        try:
+            for (key, indices), result in zip(pending, computed):
+                if resolved is not None:
+                    resolved.put(key.split("#")[0], result)
+                stats.executed += 1
+                _complete(key, indices, result)
+        finally:
+            if workers > 1 and len(pending_configs) > 1:
+                pool.shutdown()
+
+    stats.duration_s = time.perf_counter() - started
+    return [result for result in results if result is not None]
 
 
 def run_sweep(
@@ -70,10 +224,15 @@ def run_sweep(
     target: str = "pattern",
     label: str = "",
     workers: int = 1,
+    cache: "object | None" = DEFAULT_CACHE,
+    progress: ProgressHook | None = None,
+    stats: RunStats | None = None,
 ) -> SweepResult:
     """Run a one-parameter sweep and collect it into a :class:`SweepResult`."""
     configs = sweep_configs(base, parameter, values, target=target)
-    results = run_configs(configs, workers=workers)
+    results = run_configs(
+        configs, workers=workers, cache=cache, progress=progress, stats=stats
+    )
     return SweepResult(
         parameter=parameter,
         values=list(values),

@@ -10,7 +10,7 @@ that choice (Figure 5a is the one experiment that turns it off).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
+from typing import Sequence
 
 import numpy as np
 
@@ -21,7 +22,12 @@ from repro.errors import KernelError
 from repro.kernels.gemm import GemmOperands
 from repro.util.rng import sample_without_replacement
 
-__all__ = ["OperandStreams", "build_streams"]
+__all__ = [
+    "OperandStreams",
+    "StackedOperandStreams",
+    "build_streams",
+    "build_streams_stacked",
+]
 
 
 @dataclass
@@ -84,6 +90,137 @@ def build_streams(operands: GemmOperands) -> OperandStreams:
     """Build :class:`OperandStreams` for a concrete GEMM invocation."""
     spec = operands.problem.dtype_spec
     a_used = spec.quantize(operands.a)
-    b_used = spec.quantize(operands.b_used)
+    # Quantization is elementwise, so the consumed operand is exactly the
+    # quantized stored matrix (transposed when the kernel transposes B);
+    # quantizing once saves a full encode/decode pass over B.
     b_stored = spec.quantize(operands.b_stored)
+    b_used = b_stored.T if operands.problem.transpose_b else b_stored
     return OperandStreams(dtype=spec, a_used=a_used, b_used=b_used, b_stored=b_stored)
+
+
+@dataclass
+class StackedOperandStreams:
+    """Operand streams of a whole batch of same-shape GEMM invocations.
+
+    The batch (seed) axis is axis 0 of every array: ``a_used`` has shape
+    ``(S, N, K)``, ``b_used`` has shape ``(S, K, M)`` and ``b_stored`` keeps
+    the storage layout per slice.  Quantization and bit-pattern encoding run
+    once over the full stack, which is the expensive part of building
+    per-invocation streams; the per-slice values (and therefore any activity
+    statistics derived from them) are bit-for-bit identical to building
+    :class:`OperandStreams` one invocation at a time.
+    """
+
+    dtype: DTypeSpec
+    #: A operands as consumed, shape (S, N, K)
+    a_used: np.ndarray
+    #: B operands as consumed, shape (S, K, M)
+    b_used: np.ndarray
+    #: B operands as stored in memory, shape (S, M, K) or (S, K, M)
+    b_stored: np.ndarray
+
+    @cached_property
+    def a_words(self) -> np.ndarray:
+        """Bit patterns of A in consumption order, shape (S, N, K)."""
+        return self.dtype.encode(self.a_used)
+
+    @cached_property
+    def b_words(self) -> np.ndarray:
+        """Bit patterns of B in consumption order, shape (S, K, M)."""
+        return self.dtype.encode(self.b_used)
+
+    @cached_property
+    def b_stored_words(self) -> np.ndarray:
+        """Bit patterns of B in storage order, shape (S, *, *)."""
+        return self.dtype.encode(self.b_stored)
+
+    @property
+    def batch(self) -> int:
+        return self.a_used.shape[0]
+
+    @property
+    def n(self) -> int:
+        return self.a_used.shape[1]
+
+    @property
+    def k(self) -> int:
+        return self.a_used.shape[2]
+
+    @property
+    def m(self) -> int:
+        return self.b_used.shape[2]
+
+    def slice(self, index: int) -> OperandStreams:
+        """Return one invocation of the batch as plain :class:`OperandStreams`.
+
+        The already-encoded word stacks are shared with the returned view, so
+        slicing never re-encodes.
+        """
+        streams = OperandStreams(
+            dtype=self.dtype,
+            a_used=self.a_used[index],
+            b_used=self.b_used[index],
+            b_stored=self.b_stored[index],
+        )
+        for name in ("a_words", "b_words", "b_stored_words"):
+            if name in self.__dict__:  # only forward what is already encoded
+                streams.__dict__[name] = self.__dict__[name][index]
+        return streams
+
+
+def build_streams_stacked(
+    operands: "Sequence[GemmOperands] | Sequence[OperandStreams]",
+) -> StackedOperandStreams:
+    """Stack a batch of same-shape GEMM invocations into one stream object.
+
+    All invocations must share shape, datatype and B-transposition; they are
+    quantized in a single vectorized pass.
+    """
+    items = list(operands)
+    if not items:
+        raise KernelError("build_streams_stacked needs at least one invocation")
+    if not isinstance(items[0], (GemmOperands, OperandStreams)):
+        raise KernelError(
+            f"build_streams_stacked expects GemmOperands or OperandStreams, "
+            f"got {type(items[0]).__name__}"
+        )
+    if isinstance(items[0], OperandStreams):
+        first = items[0]
+        for other in items[1:]:
+            if not isinstance(other, OperandStreams):
+                raise KernelError("cannot mix OperandStreams with other operand types")
+            if other.dtype.name != first.dtype.name or (
+                (other.n, other.k, other.m) != (first.n, first.k, first.m)
+            ):
+                raise KernelError("stacked streams must share shape and dtype")
+        return StackedOperandStreams(
+            dtype=first.dtype,
+            a_used=np.stack([s.a_used for s in items]),
+            b_used=np.stack([s.b_used for s in items]),
+            b_stored=np.stack([s.b_stored for s in items]),
+        )
+    first_problem = items[0].problem
+    signature = (
+        first_problem.n,
+        first_problem.m,
+        first_problem.k,
+        first_problem.dtype,
+        first_problem.transpose_b,
+    )
+    for op in items[1:]:
+        if not isinstance(op, GemmOperands):
+            raise KernelError("cannot mix GemmOperands with other operand types")
+        problem = op.problem
+        if (problem.n, problem.m, problem.k, problem.dtype, problem.transpose_b) != signature:
+            raise KernelError(
+                "stacked operands must share shape, dtype and transposition; got "
+                f"{signature} vs {(problem.n, problem.m, problem.k, problem.dtype, problem.transpose_b)}"
+            )
+    spec = first_problem.dtype_spec
+    a_used = spec.quantize(np.stack([op.a for op in items]))
+    b_stored = spec.quantize(np.stack([op.b_stored for op in items]))
+    if first_problem.transpose_b:
+        b_used = b_stored.transpose(0, 2, 1)
+    else:
+        b_used = b_stored
+    return StackedOperandStreams(dtype=spec, a_used=a_used, b_used=b_used, b_stored=b_stored)

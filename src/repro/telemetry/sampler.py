@@ -9,6 +9,7 @@ sensor noise, and the configured sampling period.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -17,6 +18,20 @@ from repro.telemetry.trace import PowerTrace
 from repro.util.rng import derive_rng
 
 __all__ = ["TelemetryConfig", "simulate_power_trace"]
+
+
+@lru_cache(maxsize=64)
+def _sample_time_grid(num_samples: int, sample_period_s: float) -> np.ndarray:
+    """Shared, read-only sampling-time grid.
+
+    Every trace with the same sample count and period uses the same
+    timestamps, so the grid is built once and reused across the seeds and
+    sweep points of a measurement campaign (traces never mutate their
+    timestamps; the array is marked read-only to enforce that).
+    """
+    times = np.arange(num_samples, dtype=np.float64) * sample_period_s
+    times.setflags(write=False)
+    return times
 
 
 @dataclass(frozen=True)
@@ -63,7 +78,7 @@ def simulate_power_trace(
     rng = derive_rng(seed, "telemetry", round(steady_power_watts, 3), round(duration_s, 6))
 
     num_samples = max(int(np.ceil(duration_s / config.sample_period_s)), 1)
-    times = np.arange(num_samples, dtype=np.float64) * config.sample_period_s
+    times = _sample_time_grid(num_samples, config.sample_period_s)
 
     ramp = 1.0 - np.exp(-times / config.warmup_time_constant_s)
     power = idle_power_watts + (steady_power_watts - idle_power_watts) * ramp

@@ -55,12 +55,18 @@ def summarize(values: Iterable[float]) -> SummaryStats:
                             minimum=math.nan, maximum=math.nan, sem=math.nan)
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
     sem = std / math.sqrt(arr.size) if arr.size > 1 else 0.0
+    minimum = float(arr.min())
+    maximum = float(arr.max())
+    # Accumulated rounding can push the computed mean a few ulps outside the
+    # sample range (e.g. mean([0.95] * 3) < 0.95); clamp so the invariant
+    # min <= mean <= max always holds.
+    mean = min(max(float(arr.mean()), minimum), maximum)
     return SummaryStats(
         count=int(arr.size),
-        mean=float(arr.mean()),
+        mean=mean,
         std=std,
-        minimum=float(arr.min()),
-        maximum=float(arr.max()),
+        minimum=minimum,
+        maximum=maximum,
         sem=sem,
     )
 

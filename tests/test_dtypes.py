@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 
 from repro.dtypes import PAPER_DTYPES, get_dtype, list_dtypes, register_dtype
-from repro.dtypes.base import DTypeSpec, FloatFormat, IntFormat, NativeFloatSpec
+from repro.dtypes.base import DTypeSpec, FloatFormat, NativeFloatSpec
 from repro.dtypes.convert import (
     clip_to_range,
     encode_matrix,

@@ -81,8 +81,10 @@ class TestHarness:
 
     def test_deterministic_without_noise(self, quiet_config):
         config = quiet_config()
-        one = run_experiment(config)
-        two = run_experiment(config)
+        # cache=None forces both runs through the harness; with the default
+        # cache the second call would be a hit and prove nothing.
+        one = run_experiment(config, cache=None)
+        two = run_experiment(config, cache=None)
         assert one.mean_power_watts == pytest.approx(two.mean_power_watts)
 
     def test_a_and_b_use_different_seeds(self, quiet_config):

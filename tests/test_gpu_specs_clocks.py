@@ -6,7 +6,7 @@ import pytest
 
 from repro.errors import DeviceError
 from repro.gpu.clocks import MIN_CLOCK_SCALE, ClockModel
-from repro.gpu.specs import GPU_SPECS, PAPER_GPUS, GPUSpec, get_gpu_spec, list_gpus, register_gpu_spec
+from repro.gpu.specs import GPU_SPECS, PAPER_GPUS, get_gpu_spec, list_gpus, register_gpu_spec
 
 
 class TestSpecDatabase:

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import math
 
-import pytest
 
 from repro.experiments.harness import MIN_MEASUREMENT_DURATION_S, ExperimentRunner, run_experiment
 from repro.runtime.model import RuntimeModel
