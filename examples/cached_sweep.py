@@ -5,7 +5,10 @@ Every experiment configuration is deterministic, so its result is cached
 under a content-addressed fingerprint (config + code version).  This script
 runs the paper's sparsity sweep twice against one cache — cold, then warm —
 and prints the timing plus the cache/run statistics.  It also shows the
-deduplication the sweep runner applies when a config list repeats points.
+deduplication the sweep runner applies when a config list repeats points,
+and the per-seed *activity* cache tier: a cross-GPU sweep (fig7-style)
+estimates the expensive bit-level activity once per seed, because the
+estimate depends on the workload, not the device.
 
 Run with:  python examples/cached_sweep.py
 """
@@ -15,8 +18,8 @@ from __future__ import annotations
 import time
 
 import repro
-from repro.cache import ExperimentCache
-from repro.experiments.sweep import RunStats, run_sweep
+from repro.cache import ActivityCache, ExperimentCache
+from repro.experiments.sweep import RunStats, run_configs, run_sweep
 
 MATRIX_SIZE = 512
 SPARSITIES = [0.0, 0.25, 0.5, 0.75, 1.0]
@@ -61,6 +64,26 @@ def main() -> None:
     print(
         "\nThe warm run re-used every point: repeated figure/benchmark runs "
         "only pay for configurations they have never measured before."
+    )
+
+    # ---- the activity tier: cross-GPU sweeps share per-seed estimates ----
+
+    gpus = ["v100", "a100", "h100"]
+    activity_cache = ActivityCache()
+    configs = [base.with_overrides(gpu=gpu) for gpu in gpus]
+
+    print(f"\nCross-GPU run ({', '.join(gpus)}) with a shared activity cache:")
+    started = time.perf_counter()
+    results = run_configs(configs, cache=None, activity_cache=activity_cache)
+    elapsed = time.perf_counter() - started
+    print(f"  {elapsed:.3f}s for {len(results)} devices x {base.seeds} seeds")
+    print(f"  activity estimations: {activity_cache.stats.misses} "
+          f"(once per seed), served from cache: {activity_cache.stats.hits}")
+    for gpu, result in zip(gpus, results):
+        print(f"  {gpu:<8} {result.mean_power_watts:7.1f} W")
+    print(
+        "\nOnly the first device estimated switching activity; the others "
+        "re-used its per-seed reports and just re-ran the power model."
     )
 
 

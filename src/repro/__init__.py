@@ -23,12 +23,19 @@ from __future__ import annotations
 
 from repro._version import __version__
 from repro.activity import (
+    ActivityEngine,
     ActivityReport,
     SamplingConfig,
     estimate_activity,
     estimate_activity_batch,
 )
-from repro.cache import CacheStats, ExperimentCache, experiment_fingerprint
+from repro.cache import (
+    ActivityCache,
+    CacheStats,
+    ExperimentCache,
+    activity_fingerprint,
+    experiment_fingerprint,
+)
 from repro.dtypes import PAPER_DTYPES, get_dtype, list_dtypes
 from repro.errors import ReproError
 from repro.experiments import (
@@ -51,13 +58,16 @@ from repro.telemetry import PowerTrace
 __all__ = [
     "__version__",
     "ReproError",
+    "ActivityEngine",
     "ActivityReport",
     "SamplingConfig",
     "estimate_activity",
     "estimate_activity_batch",
     "ExperimentCache",
+    "ActivityCache",
     "CacheStats",
     "experiment_fingerprint",
+    "activity_fingerprint",
     "get_dtype",
     "list_dtypes",
     "PAPER_DTYPES",

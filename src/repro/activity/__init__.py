@@ -13,7 +13,11 @@ from repro.activity.accumulator import (
     estimate_datapath_activity,
     estimate_datapath_activity_batch,
 )
-from repro.activity.engine import estimate_activity, estimate_activity_batch
+from repro.activity.engine import (
+    ActivityEngine,
+    estimate_activity,
+    estimate_activity_batch,
+)
 from repro.activity.memory_traffic import (
     estimate_memory_activity,
     estimate_memory_activity_batch,
@@ -30,6 +34,7 @@ from repro.activity.report import ActivityReport
 from repro.activity.sampler import SamplingConfig
 
 __all__ = [
+    "ActivityEngine",
     "ActivityReport",
     "SamplingConfig",
     "estimate_activity",

@@ -5,11 +5,20 @@
 ``estimate_activity_batch`` does the same for a whole batch of same-shape
 invocations (e.g. all seeds of one experiment configuration) with a single
 stream build and stacked 3-D fast paths through every component estimator.
+
+Both entry points are cache-aware: given an
+:class:`~repro.cache.store.ActivityCache` and per-invocation fingerprints
+(:func:`~repro.cache.fingerprint.activity_fingerprint`), previously
+estimated invocations are served from the cache and — when operands are
+passed as zero-argument factories — never even generate their matrices.
+:class:`ActivityEngine` bundles a sampling configuration and a cache into a
+reusable object; the experiment harness drives it so sweeps that vary only
+the device or measurement procedure estimate each seed exactly once.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -40,7 +49,18 @@ from repro.kernels.schedule import (
     build_streams_stacked,
 )
 
-__all__ = ["estimate_activity", "estimate_activity_batch", "activity_from_matrices"]
+__all__ = [
+    "ActivityEngine",
+    "estimate_activity",
+    "estimate_activity_batch",
+    "activity_from_matrices",
+]
+
+#: One batch item: concrete operands, pre-built streams, or a zero-argument
+#: factory producing either (invoked only when the item is not cached).
+OperandSource = (
+    "GemmOperands | OperandStreams | Callable[[], GemmOperands | OperandStreams]"
+)
 
 #: Per-chunk budget for the batched engine, in bytes of stacked A-operand
 #: data.  The activity estimators are memory-bandwidth bound: stacking more
@@ -118,11 +138,32 @@ def estimate_activity(
     )
 
 
+def _materialize(item: "object") -> "GemmOperands | OperandStreams":
+    """Invoke a factory item if needed and type-check the result."""
+    if callable(item) and not isinstance(item, (GemmOperands, OperandStreams)):
+        item = item()
+    if not isinstance(item, (GemmOperands, OperandStreams)):
+        raise ActivityError(
+            "estimate_activity_batch expects GemmOperands, OperandStreams, "
+            "factories returning them, or StackedOperandStreams; got "
+            f"{type(item).__name__}"
+        )
+    return item
+
+
+def _per_invocation_values(item: "GemmOperands | OperandStreams") -> int:
+    if isinstance(item, GemmOperands):
+        return item.a.size + item.b_stored.size
+    return item.a_used.size + item.b_stored.size
+
+
 def estimate_activity_batch(
-    operands: "Sequence[GemmOperands] | Sequence[OperandStreams] | StackedOperandStreams",
+    operands: "Sequence[OperandSource] | StackedOperandStreams",
     sampling: SamplingConfig | None = None,
     seeds: "Sequence[int] | range | None" = None,
     chunk: int | None = None,
+    cache: "object | None" = None,
+    keys: "Sequence[str] | None" = None,
 ) -> list[ActivityReport]:
     """Estimate switching activity for a batch of same-shape GEMM invocations.
 
@@ -137,8 +178,11 @@ def estimate_activity_batch(
     operands:
         A sequence of :class:`~repro.kernels.gemm.GemmOperands` (or
         pre-built :class:`~repro.kernels.schedule.OperandStreams`) sharing
-        shape, dtype and transposition, or an already-stacked
-        :class:`~repro.kernels.schedule.StackedOperandStreams`.
+        shape, dtype and transposition, zero-argument factories returning
+        them, or an already-stacked
+        :class:`~repro.kernels.schedule.StackedOperandStreams`.  Factory
+        items are invoked only for invocations the cache cannot serve, so a
+        fully warm batch skips operand generation entirely.
     sampling:
         Sampling configuration for the product/accumulator estimator.
     seeds:
@@ -149,40 +193,138 @@ def estimate_activity_batch(
         choice that keeps each chunk's working set cache-resident (see
         :data:`BATCH_CHUNK_BUDGET_BYTES`); pass an explicit value to
         override.
+    cache:
+        Optional :class:`~repro.cache.store.ActivityCache` (or the
+        ``DEFAULT_CACHE`` sentinel for the process-wide one).  ``None`` —
+        the default — always estimates.
+    keys:
+        Per-invocation cache keys
+        (:func:`~repro.cache.fingerprint.activity_fingerprint`), required
+        when ``cache`` is given; ignored without a cache.
     """
+    from repro.cache.store import resolve_activity_cache
+
     if isinstance(operands, StackedOperandStreams):
+        if cache is not None:
+            raise ActivityError(
+                "pre-stacked streams cannot be combined with an activity cache; "
+                "pass the per-invocation operands instead"
+            )
         return _estimate_stacked(operands, sampling or SamplingConfig(), seeds)
 
-    items = list(operands)
+    items: list[object] = list(operands)
     if not items:
         return []
-    if not all(isinstance(op, (GemmOperands, OperandStreams)) for op in items):
-        raise ActivityError(
-            "estimate_activity_batch expects GemmOperands, OperandStreams or "
-            "StackedOperandStreams"
-        )
     sampling = sampling or SamplingConfig()
     seed_list = list(seeds) if seeds is not None else list(range(len(items)))
     if len(seed_list) != len(items):
         raise ActivityError(
             f"got {len(seed_list)} seeds for a batch of {len(items)} invocations"
         )
-    if chunk is None:
-        if isinstance(items[0], GemmOperands):
-            per_invocation = items[0].a.size + items[0].b_stored.size
-        else:
-            per_invocation = items[0].a_used.size + items[0].b_stored.size
-        chunk = recommended_chunk(per_invocation)
-    elif chunk < 1:
+    if chunk is not None and chunk < 1:
         raise ActivityError(f"chunk must be >= 1, got {chunk}")
 
-    reports: list[ActivityReport] = []
-    for start in range(0, len(items), chunk):
-        stacked = build_streams_stacked(items[start : start + chunk])
-        reports.extend(
-            _estimate_stacked(stacked, sampling, seed_list[start : start + chunk])
+    resolved = resolve_activity_cache(cache) if cache is not None else None
+    reports: list[ActivityReport | None] = [None] * len(items)
+    if resolved is not None:
+        if keys is None:
+            raise ActivityError("an activity cache needs per-invocation keys")
+        key_list = list(keys)
+        if len(key_list) != len(items):
+            raise ActivityError(
+                f"got {len(key_list)} keys for a batch of {len(items)} invocations"
+            )
+        missing = []
+        for index, key in enumerate(key_list):
+            hit = resolved.get(key)
+            if hit is None:
+                missing.append(index)
+            else:
+                reports[index] = hit
+    else:
+        key_list = None
+        missing = list(range(len(items)))
+
+    if missing:
+        if chunk is None:
+            first = _materialize(items[missing[0]])
+            items[missing[0]] = first
+            chunk = recommended_chunk(_per_invocation_values(first))
+        for start in range(0, len(missing), chunk):
+            group = missing[start : start + chunk]
+            materialized = [_materialize(items[index]) for index in group]
+            # Drop the item slots (each index is visited once) so operands —
+            # including the one materialized above for chunk sizing — stay
+            # alive only for their own chunk, keeping peak memory bounded by
+            # the chunk even at paper scale (~70 MB per seed).
+            for index in group:
+                items[index] = None
+            stacked = build_streams_stacked(materialized)
+            estimated = _estimate_stacked(
+                stacked, sampling, [seed_list[index] for index in group]
+            )
+            for index, report in zip(group, estimated):
+                reports[index] = report
+                if resolved is not None and key_list is not None:
+                    resolved.put(key_list[index], report)
+    return reports  # type: ignore[return-value]
+
+
+class ActivityEngine:
+    """Reusable activity estimator bound to sampling knobs and a cache.
+
+    The engine is the unit the experiment harness holds on to: one instance
+    per configuration, carrying the configuration's
+    :class:`~repro.activity.sampler.SamplingConfig` and the activity cache
+    to consult.  ``cache`` accepts an explicit
+    :class:`~repro.cache.store.ActivityCache`, ``None`` to always estimate,
+    or the ``DEFAULT_CACHE`` sentinel for the process-wide tier.
+    """
+
+    def __init__(
+        self,
+        sampling: SamplingConfig | None = None,
+        cache: "object | None" = None,
+    ) -> None:
+        from repro.cache.store import resolve_activity_cache
+
+        self.sampling = sampling or SamplingConfig()
+        self.cache = resolve_activity_cache(cache) if cache is not None else None
+
+    def estimate(
+        self,
+        operands: "OperandSource",
+        seed: int = 0,
+        key: str | None = None,
+    ) -> ActivityReport:
+        """Estimate one invocation, consulting the cache when ``key`` is given."""
+        if self.cache is not None and key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return hit
+        report = estimate_activity(_materialize(operands), sampling=self.sampling, seed=seed)
+        if self.cache is not None and key is not None:
+            self.cache.put(key, report)
+        return report
+
+    def estimate_batch(
+        self,
+        operands: "Sequence[OperandSource] | StackedOperandStreams",
+        seeds: "Sequence[int] | range | None" = None,
+        keys: "Sequence[str] | None" = None,
+        chunk: int | None = None,
+    ) -> list[ActivityReport]:
+        """Batch counterpart of :meth:`estimate` (see
+        :func:`estimate_activity_batch`); keys are dropped when the engine
+        has no cache, so callers need not special-case disabled caching."""
+        return estimate_activity_batch(
+            operands,
+            sampling=self.sampling,
+            seeds=seeds,
+            chunk=chunk,
+            cache=self.cache,
+            keys=keys if self.cache is not None else None,
         )
-    return reports
 
 
 def _estimate_stacked(

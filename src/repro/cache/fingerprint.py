@@ -35,6 +35,7 @@ __all__ = [
     "code_fingerprint",
     "fingerprint_payload",
     "experiment_fingerprint",
+    "activity_fingerprint",
 ]
 
 #: Bump when the serialized result layout (or the meaning of any estimator
@@ -56,6 +57,21 @@ def code_fingerprint() -> str:
 def fingerprint_payload(payload: Mapping[str, Any]) -> str:
     """SHA-256 hex digest of the canonical JSON form of ``payload``."""
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def _dtype_spec_payload(name: str) -> dict[str, Any]:
+    """Resolved dtype spec, included so re-registering a dtype name under a
+    different definition can never serve stale cached results."""
+    spec = get_dtype(name)
+    return {
+        "kind": spec.kind,
+        "bits": spec.bits,
+        "tensor_core": spec.tensor_core,
+        "float_format": asdict(spec.float_format)
+        if spec.float_format is not None
+        else None,
+        "int_format": asdict(spec.int_format) if spec.int_format is not None else None,
+    }
 
 
 def experiment_fingerprint(
@@ -85,21 +101,10 @@ def experiment_fingerprint(
     # The dtype and GPU registries are mutable (register_* with overwrite), so
     # the names in the config are not enough: fingerprint the resolved specs
     # too, or re-registering a name would silently serve stale results.
-    dtype_spec = get_dtype(config.dtype)
     payload: dict[str, Any] = {
         "kind": "experiment",
         "config": description,
-        "dtype_spec": {
-            "kind": dtype_spec.kind,
-            "bits": dtype_spec.bits,
-            "tensor_core": dtype_spec.tensor_core,
-            "float_format": asdict(dtype_spec.float_format)
-            if dtype_spec.float_format is not None
-            else None,
-            "int_format": asdict(dtype_spec.int_format)
-            if dtype_spec.int_format is not None
-            else None,
-        },
+        "dtype_spec": _dtype_spec_payload(config.dtype),
         "gpu_spec": asdict(get_gpu_spec(config.gpu)),
         "sampling": asdict(config.sampling),
         "telemetry": asdict(config.telemetry),
@@ -108,4 +113,39 @@ def experiment_fingerprint(
     }
     if seed is not None:
         payload["seed"] = int(seed)
+    return fingerprint_payload(payload)
+
+
+def activity_fingerprint(
+    config: "ExperimentConfig",
+    seed: int,
+    code_version: str | None = None,
+) -> str:
+    """Content-addressed key for one seed's switching-activity estimate.
+
+    This is the canonical subset of :func:`experiment_fingerprint`: a seed's
+    :class:`~repro.activity.report.ActivityReport` depends only on the
+    workload (pattern, dtype, matrix size, transposition), the seed
+    derivation (``base_seed`` + seed index), the estimator's sampling knobs
+    and the code version.  The GPU model, clocks, telemetry configuration,
+    iteration counts and the number of seeds in the experiment are all
+    deliberately excluded — that is what lets cross-device sweeps (e.g. the
+    fig7 generalization study) and measurement-procedure sweeps reuse one
+    estimate per seed across every point.
+    """
+    payload: dict[str, Any] = {
+        "kind": "activity",
+        "workload": {
+            "pattern_family": config.pattern_family,
+            "pattern_params": dict(config.pattern_params),
+            "dtype": config.dtype,
+            "matrix_size": config.matrix_size,
+            "transpose_b": config.transpose_b,
+            "base_seed": config.base_seed,
+        },
+        "dtype_spec": _dtype_spec_payload(config.dtype),
+        "sampling": asdict(config.sampling),
+        "seed": int(seed),
+        "code": code_version if code_version is not None else code_fingerprint(),
+    }
     return fingerprint_payload(payload)

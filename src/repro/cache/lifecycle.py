@@ -1,0 +1,289 @@
+"""Disk-cache lifecycle management: inspection and garbage collection.
+
+The on-disk cache (``REPRO_CACHE_DIR``) holds two tiers side by side:
+
+* experiment entries — ``<root>/<fingerprint>.json``
+* activity entries — ``<root>/activity/<fingerprint>.json``
+
+Nothing ever deletes these files during normal operation, so long-lived
+directories grow without bound.  This module provides the shared scanning,
+size/age accounting and pruning used by the ``python -m repro.cache`` CLI
+and by the env-driven auto-GC hook in :mod:`repro.cache.store`
+(``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE_DAYS``).
+
+Pruning is safe to run concurrently with readers and writers: entry files
+are published atomically (temp file + ``os.replace``), deletions of files
+that vanished underneath us are ignored, and a reader that loses the race
+simply recomputes — the cache is a pure performance layer.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.cache.store import ACTIVITY_SUBDIR
+from repro.errors import ExperimentError
+
+__all__ = [
+    "TIERS",
+    "CacheEntry",
+    "PruneReport",
+    "tier_dir",
+    "scan_cache_dir",
+    "cache_dir_stats",
+    "prune_cache_dir",
+    "clear_cache_dir",
+    "parse_size",
+    "format_size",
+]
+
+#: Known cache tiers, in the order the CLI reports them.
+TIERS = ("experiment", "activity")
+
+#: Temp files from interrupted atomic writes older than this are removed by
+#: every prune pass, whatever the size/age limits.
+STALE_TMP_AGE_S = 3600.0
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One on-disk cache file."""
+
+    path: Path
+    tier: str
+    key: str
+    size_bytes: int
+    mtime: float
+
+    def age_s(self, now: float | None = None) -> float:
+        return (now if now is not None else time.time()) - self.mtime
+
+
+@dataclass
+class PruneReport:
+    """What one :func:`prune_cache_dir` pass did."""
+
+    examined: int = 0
+    removed: list[CacheEntry] = field(default_factory=list)
+    removed_tmp: int = 0
+    remaining: int = 0
+    remaining_bytes: int = 0
+    dry_run: bool = False
+
+    @property
+    def removed_bytes(self) -> int:
+        return sum(entry.size_bytes for entry in self.removed)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "examined": self.examined,
+            "removed": len(self.removed),
+            "removed_bytes": self.removed_bytes,
+            "removed_tmp": self.removed_tmp,
+            "remaining": self.remaining,
+            "remaining_bytes": self.remaining_bytes,
+            "dry_run": self.dry_run,
+        }
+
+
+def tier_dir(root: "str | Path", tier: str) -> Path:
+    """Directory holding one tier's entry files under a cache root."""
+    root = Path(root)
+    if tier == "experiment":
+        return root
+    if tier == "activity":
+        return root / ACTIVITY_SUBDIR
+    raise ExperimentError(f"unknown cache tier {tier!r}; expected one of {TIERS}")
+
+
+def _scan_tier(root: Path, tier: str) -> list[CacheEntry]:
+    directory = tier_dir(root, tier)
+    if not directory.is_dir():
+        return []
+    entries = []
+    for path in directory.glob("*.json"):
+        try:
+            stat = path.stat()
+        except OSError:
+            continue  # deleted by a concurrent prune/clear
+        entries.append(
+            CacheEntry(
+                path=path,
+                tier=tier,
+                key=path.stem,
+                size_bytes=stat.st_size,
+                mtime=stat.st_mtime,
+            )
+        )
+    return entries
+
+
+def scan_cache_dir(
+    root: "str | Path", tiers: Iterable[str] = TIERS
+) -> list[CacheEntry]:
+    """Every entry under ``root`` for the given tiers, oldest first."""
+    root = Path(root)
+    entries: list[CacheEntry] = []
+    for tier in tiers:
+        entries.extend(_scan_tier(root, tier))
+    entries.sort(key=lambda entry: (entry.mtime, str(entry.path)))
+    return entries
+
+
+def cache_dir_stats(root: "str | Path", now: float | None = None) -> dict[str, object]:
+    """Per-tier entry counts, byte totals and age extremes for ``root``."""
+    now = now if now is not None else time.time()
+    stats: dict[str, object] = {"root": str(root), "tiers": {}}
+    total_entries = 0
+    total_bytes = 0
+    for tier in TIERS:
+        entries = _scan_tier(Path(root), tier)
+        tier_bytes = sum(entry.size_bytes for entry in entries)
+        total_entries += len(entries)
+        total_bytes += tier_bytes
+        stats["tiers"][tier] = {
+            "entries": len(entries),
+            "bytes": tier_bytes,
+            "oldest_age_s": max((entry.age_s(now) for entry in entries), default=0.0),
+            "newest_age_s": min((entry.age_s(now) for entry in entries), default=0.0),
+        }
+    stats["entries"] = total_entries
+    stats["bytes"] = total_bytes
+    return stats
+
+
+def _remove(entry: CacheEntry, report: PruneReport) -> bool:
+    """Delete one entry (or pretend to, under ``dry_run``).  Returns whether
+    the entry is gone — callers must keep failed deletions in their survivor
+    accounting, or the report would claim space that is still occupied."""
+    if not report.dry_run:
+        try:
+            entry.path.unlink()
+        except FileNotFoundError:
+            pass  # another process pruned it first; it is gone either way
+        except OSError:
+            return False
+    report.removed.append(entry)
+    return True
+
+
+def _sweep_stale_tmp(root: Path, now: float, report: PruneReport) -> None:
+    for directory in {tier_dir(root, tier) for tier in TIERS}:
+        if not directory.is_dir():
+            continue
+        for path in directory.glob(".*.tmp"):
+            try:
+                if now - path.stat().st_mtime < STALE_TMP_AGE_S:
+                    continue
+                if not report.dry_run:
+                    path.unlink()
+                report.removed_tmp += 1
+            except OSError:
+                continue
+
+
+def prune_cache_dir(
+    root: "str | Path",
+    max_bytes: int | None = None,
+    max_age_s: float | None = None,
+    tiers: Iterable[str] = TIERS,
+    dry_run: bool = False,
+    now: float | None = None,
+) -> PruneReport:
+    """Garbage-collect a cache directory by age and/or total size.
+
+    Entries older than ``max_age_s`` are removed first; if the surviving
+    entries still exceed ``max_bytes`` in total, the oldest are removed
+    (across both tiers) until the directory fits.  ``dry_run`` reports what
+    would be deleted without touching anything.  Stale temp files from
+    interrupted writes are always swept.
+    """
+    if max_bytes is not None and max_bytes < 0:
+        raise ExperimentError(f"max_bytes must be >= 0, got {max_bytes}")
+    if max_age_s is not None and max_age_s < 0:
+        raise ExperimentError(f"max_age_s must be >= 0, got {max_age_s}")
+    root = Path(root)
+    now = now if now is not None else time.time()
+    report = PruneReport(dry_run=dry_run)
+    entries = scan_cache_dir(root, tiers=tiers)
+    report.examined = len(entries)
+
+    survivors: list[CacheEntry] = []
+    for entry in entries:
+        if not (
+            max_age_s is not None
+            and entry.age_s(now) > max_age_s
+            and _remove(entry, report)
+        ):
+            survivors.append(entry)
+
+    if max_bytes is not None:
+        total = sum(entry.size_bytes for entry in survivors)
+        kept: list[CacheEntry] = []
+        for index, entry in enumerate(survivors):  # oldest first
+            if total <= max_bytes:
+                kept.extend(survivors[index:])
+                break
+            if _remove(entry, report):
+                total -= entry.size_bytes
+            else:
+                kept.append(entry)
+        survivors = kept
+
+    _sweep_stale_tmp(root, now, report)
+    report.remaining = len(survivors)
+    report.remaining_bytes = sum(entry.size_bytes for entry in survivors)
+    return report
+
+
+def clear_cache_dir(
+    root: "str | Path", tiers: Iterable[str] = TIERS, dry_run: bool = False
+) -> PruneReport:
+    """Remove every entry of the given tiers (unconditionally — unlike a
+    ``max_bytes=0`` prune, this also removes zero-byte entries, which
+    trivially fit any size budget)."""
+    root = Path(root)
+    report = PruneReport(dry_run=dry_run)
+    entries = scan_cache_dir(root, tiers=tiers)
+    report.examined = len(entries)
+    for entry in entries:
+        _remove(entry, report)
+    _sweep_stale_tmp(root, time.time(), report)
+    report.remaining = report.examined - len(report.removed)
+    report.remaining_bytes = (
+        sum(entry.size_bytes for entry in entries) - report.removed_bytes
+    )
+    return report
+
+
+# ------------------------------------------------------------- size helpers
+
+_SIZE_SUFFIXES = {"": 1, "B": 1, "K": 1 << 10, "M": 1 << 20, "G": 1 << 30, "T": 1 << 40}
+
+
+def parse_size(text: str) -> int:
+    """Parse a human byte size (``"1048576"``, ``"512K"``, ``"1.5G"``)."""
+    cleaned = text.strip().upper().removesuffix("IB").removesuffix("B")
+    cleaned = cleaned if cleaned else text.strip().upper()
+    suffix = cleaned[-1] if cleaned and cleaned[-1] in _SIZE_SUFFIXES else ""
+    number = cleaned[: len(cleaned) - len(suffix)] if suffix else cleaned
+    try:
+        value = float(number)
+    except ValueError:
+        raise ValueError(f"unparseable size {text!r}") from None
+    if value < 0:
+        raise ValueError(f"size must be >= 0, got {text!r}")
+    return int(value * _SIZE_SUFFIXES[suffix])
+
+
+def format_size(size_bytes: float) -> str:
+    """Render a byte count for humans (``"1.5 MiB"``)."""
+    size = float(size_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024.0 or unit == "GiB":
+            return f"{size:.1f} {unit}" if unit != "B" else f"{int(size)} B"
+        size /= 1024.0
+    return f"{size:.1f} GiB"  # pragma: no cover - unreachable

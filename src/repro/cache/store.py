@@ -1,21 +1,38 @@
-"""Content-addressed experiment-result store.
+"""Content-addressed result stores: the experiment and activity cache tiers.
 
-The store maps fingerprints (see :mod:`repro.cache.fingerprint`) to
-:class:`~repro.experiments.results.ExperimentResult` objects through two
-tiers:
+The caches map fingerprints (see :mod:`repro.cache.fingerprint`) to values
+through two storage tiers:
 
 * an in-memory LRU bounded by ``max_entries`` (the hot tier every lookup
   touches first), and
 * an optional on-disk JSON backend (one file per key) that survives the
   process and feeds the LRU on a memory miss.
 
+Two cache classes share that machinery:
+
+* :class:`ExperimentCache` stores whole
+  :class:`~repro.experiments.results.ExperimentResult` objects keyed by
+  :func:`~repro.cache.fingerprint.experiment_fingerprint` — one entry per
+  (config, code version).
+* :class:`ActivityCache` stores per-seed
+  :class:`~repro.activity.report.ActivityReport` objects keyed by
+  :func:`~repro.cache.fingerprint.activity_fingerprint` — the expensive
+  bit-level estimate, reusable across every experiment that shares the
+  workload (GPU model, clocks and telemetry knobs do not matter).
+
 Values are defensively deep-copied on both ``put`` and ``get`` so callers
 can mutate results (e.g. re-stamp labels) without corrupting the store.
+Disk writes go through a temp file and :func:`os.replace`, so two processes
+sharing a cache directory can never observe a torn entry; unreadable
+entries are treated as misses and deleted.
 
-A process-wide default cache backs :func:`repro.run_experiment` and the
-sweep runner; it is created lazily, bounded, and controlled by the
-``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` / ``REPRO_CACHE_MAX_ENTRIES``
-environment variables.
+Process-wide default instances back :func:`repro.run_experiment`, the sweep
+runner and the activity engine; they are created lazily, bounded, and
+controlled by the ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` /
+``REPRO_CACHE_MAX_ENTRIES`` / ``REPRO_ACTIVITY_CACHE_MAX_ENTRIES``
+environment variables.  When ``REPRO_CACHE_MAX_BYTES`` or
+``REPRO_CACHE_MAX_AGE_DAYS`` is set, the shared disk directory is pruned
+(see :mod:`repro.cache.lifecycle`) the first time a default cache is built.
 """
 
 from __future__ import annotations
@@ -26,21 +43,32 @@ import os
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Any
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, ReproError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; imported lazily at runtime
+    from repro.activity.report import ActivityReport
     from repro.experiments.results import ExperimentResult
 
 __all__ = [
     "CacheStats",
+    "JsonDiskCache",
     "ExperimentCache",
+    "ActivityCache",
     "DEFAULT_CACHE",
+    "ACTIVITY_SUBDIR",
     "get_default_cache",
     "set_default_cache",
     "resolve_cache",
+    "get_default_activity_cache",
+    "set_default_activity_cache",
+    "resolve_activity_cache",
 ]
+
+#: Subdirectory of a shared cache root (``REPRO_CACHE_DIR``) that holds the
+#: activity tier's files; experiment entries live at the root itself.
+ACTIVITY_SUBDIR = "activity"
 
 
 @dataclass
@@ -76,8 +104,14 @@ class CacheStats:
 
 
 @dataclass
-class ExperimentCache:
-    """Bounded LRU of experiment results with an optional disk backend."""
+class JsonDiskCache:
+    """Bounded LRU of JSON-serializable values with an optional disk backend.
+
+    Subclasses define the value type by overriding :meth:`_check_value`,
+    :meth:`_serialize` and :meth:`_deserialize`; everything else — LRU
+    bookkeeping, defensive copying, atomic disk writes and corrupt-entry
+    recovery — is shared.
+    """
 
     max_entries: int = 128
     disk_dir: "str | Path | None" = None
@@ -86,15 +120,27 @@ class ExperimentCache:
     def __post_init__(self) -> None:
         if self.max_entries < 1:
             raise ExperimentError(f"max_entries must be >= 1, got {self.max_entries}")
-        self._entries: OrderedDict[str, ExperimentResult] = OrderedDict()
+        self._entries: OrderedDict[str, Any] = OrderedDict()
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
 
+    # ----------------------------------------------------- value protocol
+
+    def _check_value(self, value: Any) -> None:
+        """Raise :class:`ExperimentError` unless ``value`` is storable."""
+        raise NotImplementedError
+
+    def _serialize(self, value: Any) -> dict[str, Any]:
+        raise NotImplementedError
+
+    def _deserialize(self, data: dict[str, Any]) -> Any:
+        raise NotImplementedError
+
     # ------------------------------------------------------------------ API
 
-    def get(self, key: str) -> "ExperimentResult | None":
-        """Return a copy of the stored result for ``key``, or ``None``."""
+    def get(self, key: str) -> Any:
+        """Return a copy of the stored value for ``key``, or ``None``."""
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -109,22 +155,13 @@ class ExperimentCache:
         self.stats.misses += 1
         return None
 
-    def put(self, key: str, result: "ExperimentResult") -> None:
-        """Store a copy of ``result`` under ``key`` (memory and disk)."""
-        from repro.experiments.results import ExperimentResult
-
-        if not isinstance(result, ExperimentResult):
-            raise ExperimentError(
-                f"ExperimentCache stores ExperimentResult, got {type(result).__name__}"
-            )
-        self._insert(key, copy.deepcopy(result))
+    def put(self, key: str, value: Any) -> None:
+        """Store a copy of ``value`` under ``key`` (memory and disk)."""
+        self._check_value(value)
+        self._insert(key, copy.deepcopy(value))
         self.stats.puts += 1
         if self.disk_dir is not None:
-            path = self._path(key)
-            try:
-                path.write_text(json.dumps(result.as_dict()))
-            except OSError:
-                self.stats.disk_errors += 1
+            self._write_to_disk(key, value)
 
     def clear(self, disk: bool = False) -> None:
         """Drop every in-memory entry (and the disk files when ``disk``)."""
@@ -148,8 +185,8 @@ class ExperimentCache:
 
     # ------------------------------------------------------------ internals
 
-    def _insert(self, key: str, result: "ExperimentResult") -> None:
-        self._entries[key] = result
+    def _insert(self, key: str, value: Any) -> None:
+        self._entries[key] = value
         self._entries.move_to_end(key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
@@ -159,24 +196,90 @@ class ExperimentCache:
         assert self.disk_dir is not None
         return Path(self.disk_dir) / f"{key}.json"
 
-    def _load_from_disk(self, key: str) -> "ExperimentResult | None":
-        from repro.experiments.results import ExperimentResult
+    def _write_to_disk(self, key: str, value: Any) -> None:
+        """Atomically publish one entry: temp file in the same directory,
+        then :func:`os.replace`, so concurrent readers (and writers racing
+        on the same key) only ever see a complete JSON document."""
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(self._serialize(value)))
+            os.replace(tmp, path)
+        except OSError:
+            self.stats.disk_errors += 1
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
 
+    def _load_from_disk(self, key: str) -> Any:
         if self.disk_dir is None:
             return None
         path = self._path(key)
         if not path.exists():
             return None
         try:
-            return ExperimentResult.from_dict(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError, TypeError, ExperimentError):
-            # A corrupt or incompatible file is treated as a miss; it will be
-            # overwritten by the next put for this key.
+            return self._deserialize(json.loads(path.read_text()))
+        except (OSError, ValueError, KeyError, TypeError, ReproError):
+            # A corrupt or incompatible file is a miss; delete it so it does
+            # not occupy disk space or trip every future lookup.
             self.stats.disk_errors += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
 
-# --------------------------------------------------------- default instance
+@dataclass
+class ExperimentCache(JsonDiskCache):
+    """LRU + disk store of whole :class:`ExperimentResult` objects."""
+
+    def _check_value(self, value: Any) -> None:
+        from repro.experiments.results import ExperimentResult
+
+        if not isinstance(value, ExperimentResult):
+            raise ExperimentError(
+                f"ExperimentCache stores ExperimentResult, got {type(value).__name__}"
+            )
+
+    def _serialize(self, value: "ExperimentResult") -> dict[str, Any]:
+        return value.as_dict()
+
+    def _deserialize(self, data: dict[str, Any]) -> "ExperimentResult":
+        from repro.experiments.results import ExperimentResult
+
+        return ExperimentResult.from_dict(data)
+
+
+@dataclass
+class ActivityCache(JsonDiskCache):
+    """LRU + disk store of per-seed :class:`ActivityReport` objects.
+
+    Reports are small (a couple dozen floats), so the default LRU is much
+    wider than the experiment tier's.
+    """
+
+    max_entries: int = 1024
+
+    def _check_value(self, value: Any) -> None:
+        from repro.activity.report import ActivityReport
+
+        if not isinstance(value, ActivityReport):
+            raise ExperimentError(
+                f"ActivityCache stores ActivityReport, got {type(value).__name__}"
+            )
+
+    def _serialize(self, value: "ActivityReport") -> dict[str, Any]:
+        return value.as_dict()
+
+    def _deserialize(self, data: dict[str, Any]) -> "ActivityReport":
+        from repro.activity.report import ActivityReport
+
+        return ActivityReport.from_dict(data)
+
+
+# --------------------------------------------------------- default instances
 
 #: Sentinel meaning "use the process-wide default cache" in APIs that accept
 #: an optional cache (``None`` always means "no caching").
@@ -184,6 +287,44 @@ DEFAULT_CACHE = object()
 
 _default_cache: ExperimentCache | None = None
 _default_initialized = False
+_default_activity_cache: ActivityCache | None = None
+_default_activity_initialized = False
+_auto_pruned = False
+
+
+def _caching_disabled() -> bool:
+    return os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0")
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return default
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(f"{name} must be an integer, got {raw!r}") from None
+
+
+def _maybe_auto_prune(root: str) -> None:
+    """Apply ``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE_DAYS`` once
+    per process, when the first disk-backed default cache is created."""
+    global _auto_pruned
+    if _auto_pruned:
+        return
+    _auto_pruned = True
+    max_bytes = os.environ.get("REPRO_CACHE_MAX_BYTES", "").strip()
+    max_age_days = os.environ.get("REPRO_CACHE_MAX_AGE_DAYS", "").strip()
+    if not max_bytes and not max_age_days:
+        return
+    from repro.cache.lifecycle import parse_size, prune_cache_dir
+
+    try:
+        limit = parse_size(max_bytes) if max_bytes else None
+        age_s = float(max_age_days) * 86400.0 if max_age_days else None
+    except ValueError as exc:
+        raise ExperimentError(f"invalid cache GC environment variable: {exc}") from None
+    prune_cache_dir(root, max_bytes=limit, max_age_s=age_s)
 
 
 def get_default_cache() -> ExperimentCache | None:
@@ -191,11 +332,13 @@ def get_default_cache() -> ExperimentCache | None:
     global _default_cache, _default_initialized
     if not _default_initialized:
         _default_initialized = True
-        if os.environ.get("REPRO_NO_CACHE", "").strip() not in ("", "0"):
+        if _caching_disabled():
             _default_cache = None
         else:
-            max_entries = int(os.environ.get("REPRO_CACHE_MAX_ENTRIES", "128"))
+            max_entries = _env_int("REPRO_CACHE_MAX_ENTRIES", 128)
             disk_dir = os.environ.get("REPRO_CACHE_DIR") or None
+            if disk_dir is not None:
+                _maybe_auto_prune(disk_dir)
             _default_cache = ExperimentCache(max_entries=max_entries, disk_dir=disk_dir)
     return _default_cache
 
@@ -215,4 +358,48 @@ def resolve_cache(cache: "ExperimentCache | None | object") -> ExperimentCache |
         return cache
     raise ExperimentError(
         f"cache must be an ExperimentCache, None or DEFAULT_CACHE, got {type(cache).__name__}"
+    )
+
+
+def get_default_activity_cache() -> ActivityCache | None:
+    """Return the lazily created process-wide activity cache.
+
+    Shares ``REPRO_NO_CACHE`` and ``REPRO_CACHE_DIR`` with the experiment
+    tier; its disk files live under ``$REPRO_CACHE_DIR/activity/`` and its
+    LRU width is ``REPRO_ACTIVITY_CACHE_MAX_ENTRIES`` (default 1024).
+    """
+    global _default_activity_cache, _default_activity_initialized
+    if not _default_activity_initialized:
+        _default_activity_initialized = True
+        if _caching_disabled():
+            _default_activity_cache = None
+        else:
+            max_entries = _env_int("REPRO_ACTIVITY_CACHE_MAX_ENTRIES", 1024)
+            root = os.environ.get("REPRO_CACHE_DIR") or None
+            disk_dir = None
+            if root is not None:
+                _maybe_auto_prune(root)
+                disk_dir = os.path.join(root, ACTIVITY_SUBDIR)
+            _default_activity_cache = ActivityCache(
+                max_entries=max_entries, disk_dir=disk_dir
+            )
+    return _default_activity_cache
+
+
+def set_default_activity_cache(cache: ActivityCache | None) -> None:
+    """Replace the process-wide activity cache (``None`` disables it)."""
+    global _default_activity_cache, _default_activity_initialized
+    _default_activity_cache = cache
+    _default_activity_initialized = True
+
+
+def resolve_activity_cache(cache: "ActivityCache | None | object") -> ActivityCache | None:
+    """Resolve an ``activity_cache`` argument (sentinel → process default)."""
+    if cache is DEFAULT_CACHE:
+        return get_default_activity_cache()
+    if cache is None or isinstance(cache, ActivityCache):
+        return cache
+    raise ExperimentError(
+        "activity_cache must be an ActivityCache, None or DEFAULT_CACHE, "
+        f"got {type(cache).__name__}"
     )

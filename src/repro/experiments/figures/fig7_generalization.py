@@ -4,6 +4,13 @@ The paper replicates four experiments (distribution mean, randomized MSBs,
 sorted rows, general sparsity) with FP16 inputs on a V100, A100, H100 and
 Quadro RTX 6000.  The RTX 6000 throttled at 2048x2048 and was therefore run
 at 512x512; the same special case is applied here.
+
+This figure is the flagship consumer of the per-seed activity cache
+(:class:`~repro.cache.store.ActivityCache`): the bit-level activity of a
+sweep point depends on the workload and seed but *not* on the GPU model, so
+every GPU after the first reuses the same per-seed estimates.  The sweeps
+run experiment-major (all GPUs of one experiment back to back) to keep
+those shared entries hot in the cache's LRU.
 """
 
 from __future__ import annotations
@@ -57,13 +64,17 @@ def run_fig7_generalization(settings: FigureSettings | None = None) -> FigureRes
         description="Input-dependent power trends across NVIDIA GPU generations (FP16)",
     )
 
-    for gpu in PAPER_GPUS:
-        size = _matrix_size_for(gpu, settings)
-        for experiment, family, parameter in FIG7_EXPERIMENTS:
-            values = _sweep_values(settings, experiment)
-            params: dict[str, object] = {}
-            if family == "gaussian":
-                params = {"mean": 0.0, "std": 1.0}
+    # Experiment-major order: consecutive sweeps differ only in the GPU, so
+    # the activity tier serves every device after the first from cache (the
+    # RTX 6000 re-estimates only when its smaller matrix changes the
+    # workload).  Panel keys stay "<gpu>/<experiment>" either way.
+    for experiment, family, parameter in FIG7_EXPERIMENTS:
+        values = _sweep_values(settings, experiment)
+        params: dict[str, object] = {}
+        if family == "gaussian":
+            params = {"mean": 0.0, "std": 1.0}
+        for gpu in PAPER_GPUS:
+            size = _matrix_size_for(gpu, settings)
             base = base_config(settings, FIG7_DTYPE, pattern_family=family, **params)
             base = base.with_overrides(gpu=gpu, matrix_size=size)
             sweep = run_sweep(

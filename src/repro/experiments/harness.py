@@ -20,14 +20,15 @@ without recomputation.
 from __future__ import annotations
 
 import math
+from functools import partial
 
 from repro.activity.engine import (
+    ActivityEngine,
     estimate_activity,
-    estimate_activity_batch,
     recommended_chunk,
 )
 from repro.activity.report import ActivityReport
-from repro.cache.fingerprint import experiment_fingerprint
+from repro.cache.fingerprint import activity_fingerprint, experiment_fingerprint
 from repro.cache.store import DEFAULT_CACHE, resolve_cache
 from repro.dtypes.registry import get_dtype
 from repro.experiments.config import ExperimentConfig
@@ -55,11 +56,18 @@ MIN_MEASUREMENT_DURATION_S = 3.0
 class ExperimentRunner:
     """Runs one :class:`~repro.experiments.config.ExperimentConfig`."""
 
-    def __init__(self, config: ExperimentConfig) -> None:
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        activity_cache: "object | None" = DEFAULT_CACHE,
+    ) -> None:
         self.config = config
         self.device = Device.create(config.gpu, instance_id=config.instance_id)
         self.power_model = PowerModel(self.device)
         self.runtime_model = RuntimeModel()
+        self.activity_engine = ActivityEngine(
+            sampling=config.sampling, cache=activity_cache
+        )
 
     # ------------------------------------------------------------------ API
 
@@ -68,9 +76,13 @@ class ExperimentRunner:
 
         Problem, pattern, launch plan and telemetry monitor are built once
         and shared by every seed; switching activity for the whole seed
-        batch is estimated in one :func:`estimate_activity_batch` call.  The
-        per-seed measurements are bit-for-bit identical to running each seed
-        independently.
+        batch goes through the :class:`ActivityEngine` in one call.  Each
+        seed is keyed by :func:`~repro.cache.fingerprint.activity_fingerprint`
+        and operands are passed as factories, so seeds already in the
+        activity cache (e.g. the same workload measured on another GPU)
+        skip operand generation and estimation entirely.  The per-seed
+        measurements are bit-for-bit identical to running each seed
+        independently without any cache.
         """
         config = self.config
         problem = self._build_problem()
@@ -78,23 +90,24 @@ class ExperimentRunner:
         launch = plan_launch(problem, self.device)
         monitor = DcgmMonitor(self.device, config=config.telemetry)
 
-        # Generate operands chunk by chunk (matching the batch engine's own
-        # stacking granularity) so peak memory is one chunk of seeds, not the
-        # whole batch — at paper scale a seed's operands are ~70 MB.
+        # The engine materializes operand factories chunk by chunk (matching
+        # its own stacking granularity) so peak memory is one chunk of seeds,
+        # not the whole batch — at paper scale a seed's operands are ~70 MB.
         per_invocation = problem.n * problem.k + problem.m * problem.k
         chunk = recommended_chunk(per_invocation)
-        reports: list[ActivityReport] = []
-        for start in range(0, config.seeds, chunk):
-            stop = min(start + chunk, config.seeds)
-            operands = [
-                self._generate_operands(problem, index, pattern=pattern)
-                for index in range(start, stop)
+        factories = [
+            partial(self._generate_operands, problem, index, pattern=pattern)
+            for index in range(config.seeds)
+        ]
+        keys = None
+        if self.activity_engine.cache is not None:
+            keys = [
+                activity_fingerprint(config, seed=index)
+                for index in range(config.seeds)
             ]
-            reports.extend(
-                estimate_activity_batch(
-                    operands, sampling=config.sampling, seeds=range(start, stop)
-                )
-            )
+        reports: list[ActivityReport] = self.activity_engine.estimate_batch(
+            factories, seeds=range(config.seeds), keys=keys, chunk=chunk
+        )
         measurements = [
             self._measure_seed(index, launch, report, monitor)
             for index, report in enumerate(reports)
@@ -187,24 +200,30 @@ class ExperimentRunner:
 
 
 def run_experiment(
-    config: ExperimentConfig, cache: "object | None" = DEFAULT_CACHE
+    config: ExperimentConfig,
+    cache: "object | None" = DEFAULT_CACHE,
+    activity_cache: "object | None" = DEFAULT_CACHE,
 ) -> ExperimentResult:
-    """Run a configuration, consulting the content-addressed result cache.
+    """Run a configuration, consulting the content-addressed result caches.
 
     ``cache`` accepts an explicit :class:`~repro.cache.store.ExperimentCache`,
     ``None`` to force recomputation, or the default sentinel to use the
     process-wide cache (see :mod:`repro.cache`).  Cache hits return a copy
     whose label is re-stamped from ``config``, since labels are excluded
-    from the fingerprint.
+    from the fingerprint.  ``activity_cache`` (same convention, with
+    :class:`~repro.cache.store.ActivityCache`) feeds the per-seed activity
+    tier beneath the experiment cache: on an experiment-cache miss, seeds
+    whose workload was already estimated — for any device or measurement
+    procedure — are reused instead of recomputed.
     """
     resolved = resolve_cache(cache)
     if resolved is None:
-        return ExperimentRunner(config).run()
+        return ExperimentRunner(config, activity_cache=activity_cache).run()
     key = experiment_fingerprint(config)
     hit = resolved.get(key)
     if hit is not None:
         hit.config["label"] = config.describe()["label"]
         return hit
-    result = ExperimentRunner(config).run()
+    result = ExperimentRunner(config, activity_cache=activity_cache).run()
     resolved.put(key, result)
     return result

@@ -10,8 +10,13 @@ The runner is cache- and duplicate-aware: every configuration is
 fingerprinted (:mod:`repro.cache.fingerprint`), physically identical points
 are computed once, previously computed points are served from the
 content-addressed result cache, and only the remainder is submitted to the
-pool — in chunks, to amortize process start-up and pickling.  A ``progress``
-hook and a :class:`RunStats` out-parameter expose what happened.
+pool — in chunks, to amortize process start-up and pickling.  Beneath the
+result cache sits the per-seed activity tier: points that differ only in
+GPU model, clocks or measurement procedure reuse one switching-activity
+estimate per seed, so a warm cross-device sweep skips estimation entirely.
+A ``progress`` hook and a :class:`RunStats` out-parameter expose what
+happened; a failing point cancels the rest of the pool's queue and is
+re-raised with its config label attached.
 """
 
 from __future__ import annotations
@@ -20,10 +25,11 @@ import copy
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from functools import partial
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.cache.fingerprint import experiment_fingerprint
-from repro.cache.store import DEFAULT_CACHE, resolve_cache
+from repro.cache.store import DEFAULT_CACHE, resolve_activity_cache, resolve_cache
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ExperimentRunner
@@ -95,9 +101,14 @@ def sweep_configs(
     return configs
 
 
-def _run_uncached(config: ExperimentConfig) -> ExperimentResult:
-    """Pool worker entry point: always compute (workers have no shared cache)."""
-    return ExperimentRunner(config).run()
+def _run_uncached(
+    config: ExperimentConfig, activity_cache: "object | None" = DEFAULT_CACHE
+) -> ExperimentResult:
+    """Pool worker entry point: always compute the experiment (workers have
+    no shared result cache), but do consult the activity tier — each worker
+    process uses its own default activity cache, which shares warm per-seed
+    estimates through ``REPRO_CACHE_DIR`` when one is configured."""
+    return ExperimentRunner(config, activity_cache=activity_cache).run()
 
 
 def _stamp_label(result: ExperimentResult, config: ExperimentConfig) -> ExperimentResult:
@@ -110,6 +121,7 @@ def run_configs(
     configs: Iterable[ExperimentConfig],
     workers: int = 1,
     cache: "object | None" = DEFAULT_CACHE,
+    activity_cache: "object | None" = DEFAULT_CACHE,
     dedupe: bool = True,
     chunksize: int | None = None,
     progress: ProgressHook | None = None,
@@ -126,12 +138,21 @@ def run_configs(
     cache:
         An explicit :class:`~repro.cache.store.ExperimentCache`, ``None`` to
         disable caching, or the default sentinel for the process-wide cache.
+    activity_cache:
+        Per-seed activity tier (:class:`~repro.cache.store.ActivityCache`,
+        ``None``, or the default sentinel).  Points that only differ in GPU
+        model, clocks or measurement procedure share one activity estimate
+        per seed through it.  ``None`` disables the tier everywhere,
+        including pool workers; an explicit cache *instance* is only
+        honoured for inline execution — pool workers use their own process
+        default (which still shares warm entries via ``REPRO_CACHE_DIR``).
     dedupe:
         Compute physically identical configurations (same fingerprint,
         labels aside) only once and fan the result back out.
     chunksize:
         Pool submission chunk size; defaults to roughly four chunks per
-        worker, which amortizes pickling without starving the pool.
+        worker (and never more than the number of pending points), which
+        amortizes pickling without starving the pool.
     progress:
         Optional ``(done, total, label)`` hook invoked as distinct
         configurations complete (see :data:`ProgressHook`).
@@ -143,7 +164,9 @@ def run_configs(
     if workers < 1:
         raise ExperimentError(f"workers must be >= 1, got {workers}")
     if chunksize is not None and chunksize < 1:
-        raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
+        raise ExperimentError(
+            f"chunksize must be >= 1 (or None for the automatic choice), got {chunksize}"
+        )
     stats = stats if stats is not None else RunStats()
     # Reset every counter: a reused RunStats instance must describe this
     # call only, not accumulate across calls.
@@ -155,6 +178,9 @@ def run_configs(
     started = time.perf_counter()
 
     resolved = resolve_cache(cache)
+    resolved_activity = (
+        resolve_activity_cache(activity_cache) if activity_cache is not None else None
+    )
     results: list[ExperimentResult | None] = [None] * len(config_list)
 
     # Group indices by fingerprint (order-preserving).  Without deduplication
@@ -194,24 +220,71 @@ def run_configs(
         else:
             pending.append((key, indices))
 
+    def _consume(computed: Iterable[ExperimentResult], span: int = 1) -> None:
+        """Fold computed results into ``results``; on failure, re-raise with
+        the failing config's label attached.  Results arrive in submission
+        order, but a pool chunk fails as a unit (the worker loses the
+        results of the chunk's earlier points too), so with ``span > 1``
+        the raising point is only known to lie in the next ``span``
+        not-yet-consumed points — name them all."""
+        iterator = iter(computed)
+        for position, (key, indices) in enumerate(pending):
+            try:
+                result = next(iterator)
+            except StopIteration:  # pragma: no cover - executor invariant
+                raise ExperimentError(
+                    "executor returned fewer results than submitted configs"
+                ) from None
+            except Exception as exc:
+                group = pending[position : position + span]
+                labels = [
+                    config_list[group_indices[0]].describe()["label"]
+                    for _, group_indices in group
+                ]
+                if len(labels) == 1:
+                    message = f"sweep point {labels[0]!r} failed: {exc}"
+                else:
+                    message = (
+                        f"a sweep point in chunk {labels!r} failed: {exc}"
+                    )
+                raise ExperimentError(message) from exc
+            if resolved is not None:
+                resolved.put(key.split("#")[0], result)
+            stats.executed += 1
+            _complete(key, indices, result)
+
     if pending:
         pending_configs = [config_list[indices[0]] for _, indices in pending]
         if workers == 1 or len(pending_configs) == 1:
-            computed: Iterable[ExperimentResult] = map(_run_uncached, pending_configs)
+            _consume(
+                _run_uncached(config, activity_cache=resolved_activity)
+                for config in pending_configs
+            )
         else:
             if chunksize is None:
                 chunksize = max(1, len(pending_configs) // (workers * 4))
-            pool = ProcessPoolExecutor(max_workers=workers)
-            computed = pool.map(_run_uncached, pending_configs, chunksize=chunksize)
-        try:
-            for (key, indices), result in zip(pending, computed):
-                if resolved is not None:
-                    resolved.put(key.split("#")[0], result)
-                stats.executed += 1
-                _complete(key, indices, result)
-        finally:
-            if workers > 1 and len(pending_configs) > 1:
-                pool.shutdown()
+            chunksize = min(chunksize, len(pending_configs))
+            # An explicit activity_cache=None is an instruction to really
+            # recompute, so forward the disable into the workers; explicit
+            # cache *instances* cannot cross the process boundary usefully
+            # (state would not come back), so workers otherwise keep their
+            # own process default.
+            worker = (
+                partial(_run_uncached, activity_cache=None)
+                if activity_cache is None
+                else _run_uncached
+            )
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                try:
+                    _consume(
+                        pool.map(worker, pending_configs, chunksize=chunksize),
+                        span=chunksize,
+                    )
+                except BaseException:
+                    # Don't let queued sweep points keep computing (or leak
+                    # worker processes) after one point has already failed.
+                    pool.shutdown(cancel_futures=True)
+                    raise
 
     stats.duration_s = time.perf_counter() - started
     return [result for result in results if result is not None]
@@ -225,13 +298,19 @@ def run_sweep(
     label: str = "",
     workers: int = 1,
     cache: "object | None" = DEFAULT_CACHE,
+    activity_cache: "object | None" = DEFAULT_CACHE,
     progress: ProgressHook | None = None,
     stats: RunStats | None = None,
 ) -> SweepResult:
     """Run a one-parameter sweep and collect it into a :class:`SweepResult`."""
     configs = sweep_configs(base, parameter, values, target=target)
     results = run_configs(
-        configs, workers=workers, cache=cache, progress=progress, stats=stats
+        configs,
+        workers=workers,
+        cache=cache,
+        activity_cache=activity_cache,
+        progress=progress,
+        stats=stats,
     )
     return SweepResult(
         parameter=parameter,

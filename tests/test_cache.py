@@ -195,6 +195,8 @@ class TestExperimentCache:
         assert cache.get(key) is None
         assert cache.stats.disk_errors == 1
         assert cache.stats.misses == 1
+        # The unreadable file is deleted, not left to trip every lookup.
+        assert not (tmp_path / f"{key}.json").exists()
 
     def test_clear(self, quiet_config, tmp_path):
         config = quiet_config()

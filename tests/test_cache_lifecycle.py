@@ -1,0 +1,596 @@
+"""Tests for the activity cache tier, disk-cache lifecycle management and
+the sweep/cache robustness fixes (atomic writes, worker cleanup, GC, CLI)."""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.activity import engine as engine_module
+from repro.activity.report import ActivityReport
+from repro.cache.__main__ import main as cache_cli
+from repro.cache.fingerprint import activity_fingerprint, experiment_fingerprint
+from repro.cache.lifecycle import (
+    cache_dir_stats,
+    clear_cache_dir,
+    format_size,
+    parse_size,
+    prune_cache_dir,
+    scan_cache_dir,
+)
+from repro.cache.store import (
+    ActivityCache,
+    ExperimentCache,
+    get_default_activity_cache,
+    get_default_cache,
+    resolve_activity_cache,
+)
+from repro.errors import ActivityError, ExperimentError
+from repro.experiments.harness import run_experiment
+from repro.experiments.sweep import run_configs
+
+
+def _make_report(value: float = 0.5) -> ActivityReport:
+    return ActivityReport(
+        operand_activity=value,
+        multiplier_activity=value,
+        datapath_activity=value,
+        memory_activity=value,
+        operand_toggle_a=value,
+        operand_toggle_b=value,
+        multiplier_hw_product=value,
+        zero_mac_fraction=value,
+        product_toggle=value,
+        accumulator_toggle=value,
+        memory_toggle=value,
+        a_hamming_fraction=value,
+        b_hamming_fraction=value,
+        bit_alignment=value,
+        dtype="fp16_t",
+        shape=(8, 8, 8),
+        output_samples=4,
+    )
+
+
+def _hammer_puts(args: tuple[str, int, int]) -> int:
+    """Worker for the concurrency test: interleaved puts on shared keys."""
+    directory, worker_id, rounds = args
+    cache = ActivityCache(disk_dir=directory)
+    for index in range(rounds):
+        cache.put(f"key{index % 8}", _make_report(0.25 + worker_id * 0.1 + index * 1e-6))
+    return cache.stats.disk_errors
+
+
+@pytest.fixture
+def count_estimations(monkeypatch):
+    """Count invocations actually estimated (not served from a cache)."""
+    calls = {"invocations": 0}
+    original = engine_module._estimate_stacked
+
+    def counting(stacked, sampling, seeds):
+        calls["invocations"] += stacked.batch
+        return original(stacked, sampling, seeds)
+
+    monkeypatch.setattr(engine_module, "_estimate_stacked", counting)
+    return calls
+
+
+@pytest.fixture
+def reset_default_caches(monkeypatch):
+    """Fresh, uninitialized default-cache state, restored afterwards."""
+    import repro.cache.store as store
+
+    saved = (
+        store._default_cache,
+        store._default_initialized,
+        store._default_activity_cache,
+        store._default_activity_initialized,
+        store._auto_pruned,
+    )
+    store._default_cache = None
+    store._default_initialized = False
+    store._default_activity_cache = None
+    store._default_activity_initialized = False
+    store._auto_pruned = False
+    yield store
+    (
+        store._default_cache,
+        store._default_initialized,
+        store._default_activity_cache,
+        store._default_activity_initialized,
+        store._auto_pruned,
+    ) = saved
+
+
+class TestActivityFingerprint:
+    def test_excludes_device_and_measurement_knobs(self, quiet_config):
+        from repro.telemetry.sampler import TelemetryConfig
+
+        base = activity_fingerprint(quiet_config(), seed=0)
+        assert activity_fingerprint(quiet_config(gpu="h100"), seed=0) == base
+        assert activity_fingerprint(quiet_config(iterations=999), seed=0) == base
+        assert activity_fingerprint(quiet_config(warmup_trim_s=0.1), seed=0) == base
+        assert activity_fingerprint(quiet_config(seeds=5), seed=0) == base
+        assert activity_fingerprint(quiet_config(instance_id=3), seed=0) == base
+        assert (
+            activity_fingerprint(
+                quiet_config(telemetry=TelemetryConfig(noise_std_watts=3.0)), seed=0
+            )
+            == base
+        )
+        assert (
+            activity_fingerprint(
+                quiet_config(include_process_variation=True), seed=0
+            )
+            == base
+        )
+
+    def test_sensitive_to_workload_and_seed(self, quiet_config):
+        from repro.activity.sampler import SamplingConfig
+
+        base = activity_fingerprint(quiet_config(), seed=0)
+        assert activity_fingerprint(quiet_config(), seed=1) != base
+        assert activity_fingerprint(quiet_config(matrix_size=256), seed=0) != base
+        assert activity_fingerprint(quiet_config(base_seed=7), seed=0) != base
+        assert activity_fingerprint(quiet_config(transpose_b=False), seed=0) != base
+        assert activity_fingerprint(quiet_config(dtype="fp16"), seed=0) != base
+        assert (
+            activity_fingerprint(quiet_config(pattern_family="sparsity"), seed=0)
+            != base
+        )
+        assert (
+            activity_fingerprint(
+                quiet_config(sampling=SamplingConfig(output_samples=16)), seed=0
+            )
+            != base
+        )
+
+    def test_differs_from_experiment_fingerprint(self, quiet_config):
+        config = quiet_config()
+        assert activity_fingerprint(config, seed=0) != experiment_fingerprint(
+            config, seed=0
+        )
+
+
+class TestActivityCacheTier:
+    def test_stores_reports_and_rejects_other_values(self, tmp_path):
+        cache = ActivityCache(disk_dir=tmp_path)
+        report = _make_report()
+        cache.put("k", report)
+        assert cache.get("k") == report
+        with pytest.raises(ExperimentError):
+            cache.put("k", {"not": "a report"})
+        with pytest.raises(ExperimentError):
+            resolve_activity_cache("bogus")
+
+    def test_disk_round_trip_is_bit_exact(self, tmp_path):
+        report = _make_report(0.123456789012345678)
+        ActivityCache(disk_dir=tmp_path).put("k", report)
+        loaded = ActivityCache(disk_dir=tmp_path).get("k")
+        assert loaded == report  # dataclass equality: every float bit-exact
+
+    def test_cached_experiment_is_bit_identical_to_cold(self, quiet_config):
+        config = quiet_config(seeds=2)
+        warm_cache = ActivityCache()
+        first = run_experiment(config, cache=None, activity_cache=warm_cache)
+        second = run_experiment(config, cache=None, activity_cache=warm_cache)
+        cold = run_experiment(config, cache=None, activity_cache=None)
+        assert warm_cache.stats.hits == config.seeds
+        assert second.as_dict() == cold.as_dict() == first.as_dict()
+
+    def test_cross_gpu_sweep_estimates_once_per_seed(
+        self, quiet_config, count_estimations
+    ):
+        gpus = ["v100", "a100", "h100", "rtx6000"]
+        base = quiet_config(seeds=2)
+        configs = [base.with_overrides(gpu=gpu) for gpu in gpus]
+        cache = ActivityCache()
+        warm = run_configs(configs, cache=None, activity_cache=cache)
+        assert count_estimations["invocations"] == base.seeds  # not len(gpus) * seeds
+        assert cache.stats.misses == base.seeds
+        assert cache.stats.hits == (len(gpus) - 1) * base.seeds
+
+        count_estimations["invocations"] = 0
+        cold = run_configs(configs, cache=None, activity_cache=None)
+        assert count_estimations["invocations"] == len(gpus) * base.seeds
+        assert [r.as_dict() for r in warm] == [r.as_dict() for r in cold]
+
+    def test_iteration_sweep_reuses_activity(self, quiet_config, count_estimations):
+        base = quiet_config()
+        configs = [base.with_overrides(iterations=n) for n in (100, 200, 300)]
+        run_configs(configs, cache=None, activity_cache=ActivityCache())
+        assert count_estimations["invocations"] == base.seeds
+
+    def test_warm_batch_skips_operand_factories(self):
+        from repro.activity.engine import estimate_activity_batch
+        from repro.dtypes import get_dtype
+        from repro.kernels.gemm import GemmOperands, GemmProblem
+        from repro.patterns.library import build_pattern
+        from repro.util.rng import derive_rng
+
+        spec = get_dtype("fp16_t")
+        problem = GemmProblem.square(32, dtype="fp16_t")
+        pattern = build_pattern("gaussian", spec)
+        invoked = {"count": 0}
+
+        def factory(seed):
+            def build():
+                invoked["count"] += 1
+                a = pattern.generate(problem.a_shape, spec, derive_rng(1, "A", seed))
+                b = pattern.generate(
+                    problem.b_storage_shape, spec, derive_rng(1, "B", seed)
+                )
+                return GemmOperands(problem=problem, a=a, b_stored=b)
+
+            return build
+
+        cache = ActivityCache()
+        keys = ["s0", "s1"]
+        factories = [factory(0), factory(1)]
+        cold = estimate_activity_batch(factories, cache=cache, keys=keys)
+        assert invoked["count"] == 2
+        warm = estimate_activity_batch(factories, cache=cache, keys=keys)
+        assert invoked["count"] == 2  # fully warm: no factory ran
+        assert warm == cold
+
+    def test_batch_cache_requires_matching_keys(self):
+        cache = ActivityCache()
+        from repro.activity.engine import estimate_activity_batch
+
+        with pytest.raises(ActivityError):
+            estimate_activity_batch([lambda: None], cache=cache)
+        with pytest.raises(ActivityError):
+            estimate_activity_batch([lambda: None], cache=cache, keys=["a", "b"])
+
+    def test_engine_single_estimate_uses_cache(self, quiet_config, count_estimations):
+        from repro.activity.engine import ActivityEngine, estimate_activity
+        from repro.experiments.harness import ExperimentRunner
+
+        config = quiet_config()
+        runner = ExperimentRunner(config, activity_cache=None)
+        operands = runner._generate_operands(runner._build_problem(), 0)
+        engine = ActivityEngine(sampling=config.sampling, cache=ActivityCache())
+        first = engine.estimate(operands, seed=0, key="k")
+        second = engine.estimate(operands, seed=0, key="k")
+        assert engine.cache.stats.hits == 1
+        reference = estimate_activity(operands, sampling=config.sampling, seed=0)
+        assert first == second == reference
+
+
+class TestAtomicDiskWrites:
+    def test_corrupt_entry_is_deleted_not_raised(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated")
+        cache = ActivityCache(disk_dir=tmp_path)
+        assert cache.get("bad") is None
+        assert cache.stats.disk_errors == 1
+        assert not path.exists()
+
+    def test_truncated_entry_recovers_after_next_put(self, tmp_path):
+        cache = ActivityCache(disk_dir=tmp_path)
+        report = _make_report()
+        cache.put("k", report)
+        (tmp_path / "k.json").write_text(
+            (tmp_path / "k.json").read_text()[:20]
+        )  # simulate torn write from a non-atomic writer
+        reader = ActivityCache(disk_dir=tmp_path)
+        assert reader.get("k") is None
+        cache.put("k", report)  # writer re-publishes
+        assert ActivityCache(disk_dir=tmp_path).get("k") == report
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        cache = ActivityCache(disk_dir=tmp_path)
+        for index in range(5):
+            cache.put(f"k{index}", _make_report())
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.json"))) == 5
+
+    def test_concurrent_puts_leave_readable_store(self, tmp_path):
+        jobs = [(str(tmp_path), worker, 60) for worker in range(3)]
+        with ProcessPoolExecutor(max_workers=3) as pool:
+            disk_errors = list(pool.map(_hammer_puts, jobs))
+        assert disk_errors == [0, 0, 0]
+        reader = ActivityCache(disk_dir=tmp_path)
+        keys = sorted(path.stem for path in tmp_path.glob("*.json"))
+        assert keys == [f"key{index}" for index in range(8)]
+        for key in keys:
+            assert reader.get(key) is not None
+        assert reader.stats.disk_errors == 0
+
+
+class TestGarbageCollection:
+    def _populate(self, root, count=4, tier="experiment", size=100, start_age=0):
+        from repro.cache.lifecycle import tier_dir
+
+        directory = tier_dir(root, tier)
+        directory.mkdir(parents=True, exist_ok=True)
+        now = 1_000_000_000
+        for index in range(count):
+            path = directory / f"entry{index}.json"
+            path.write_text(json.dumps({"pad": "x" * size}))
+            age = start_age + (count - index) * 3600  # entry0 oldest
+            os.utime(path, (now - age, now - age))
+        return now
+
+    def test_scan_and_stats(self, tmp_path):
+        now = self._populate(tmp_path, count=3, tier="experiment")
+        self._populate(tmp_path, count=2, tier="activity")
+        entries = scan_cache_dir(tmp_path)
+        assert len(entries) == 5
+        assert entries == sorted(entries, key=lambda e: (e.mtime, str(e.path)))
+        stats = cache_dir_stats(tmp_path, now=now)
+        assert stats["tiers"]["experiment"]["entries"] == 3
+        assert stats["tiers"]["activity"]["entries"] == 2
+        assert stats["entries"] == 5
+        assert stats["bytes"] == sum(e.size_bytes for e in entries)
+
+    def test_prune_by_age(self, tmp_path):
+        now = self._populate(tmp_path, count=4)
+        report = prune_cache_dir(tmp_path, max_age_s=2.5 * 3600, now=now)
+        assert {entry.key for entry in report.removed} == {"entry0", "entry1"}
+        assert report.remaining == 2
+        survivors = {entry.key for entry in scan_cache_dir(tmp_path)}
+        assert survivors == {"entry2", "entry3"}
+
+    def test_prune_by_size_removes_oldest_first(self, tmp_path):
+        now = self._populate(tmp_path, count=4, size=100)
+        total = sum(entry.size_bytes for entry in scan_cache_dir(tmp_path))
+        per_entry = total // 4
+        report = prune_cache_dir(tmp_path, max_bytes=2 * per_entry, now=now)
+        assert {entry.key for entry in report.removed} == {"entry0", "entry1"}
+        assert report.remaining_bytes <= 2 * per_entry
+        assert {entry.key for entry in scan_cache_dir(tmp_path)} == {
+            "entry2",
+            "entry3",
+        }
+
+    def test_prune_spans_both_tiers(self, tmp_path):
+        self._populate(tmp_path, count=2, tier="experiment", start_age=10_000)
+        now = self._populate(tmp_path, count=2, tier="activity")
+        report = prune_cache_dir(tmp_path, max_bytes=0, now=now)
+        assert len(report.removed) == 4
+        assert scan_cache_dir(tmp_path) == []
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        now = self._populate(tmp_path, count=3)
+        report = prune_cache_dir(tmp_path, max_bytes=0, dry_run=True, now=now)
+        assert len(report.removed) == 3
+        assert len(scan_cache_dir(tmp_path)) == 3
+
+    def test_clear_removes_zero_byte_entries(self, tmp_path):
+        self._populate(tmp_path, count=2)
+        (tmp_path / "empty.json").write_text("")  # fits any size budget
+        report = clear_cache_dir(tmp_path)
+        assert len(report.removed) == 3
+        assert report.remaining == 0
+        assert scan_cache_dir(tmp_path) == []
+
+    def test_clear_by_tier(self, tmp_path):
+        self._populate(tmp_path, count=2, tier="experiment")
+        self._populate(tmp_path, count=3, tier="activity")
+        clear_cache_dir(tmp_path, tiers=("activity",))
+        remaining = scan_cache_dir(tmp_path)
+        assert {entry.tier for entry in remaining} == {"experiment"}
+        assert len(remaining) == 2
+
+    def test_stale_tmp_files_swept(self, tmp_path):
+        now = self._populate(tmp_path, count=1)
+        stale = tmp_path / ".orphan.json.123.tmp"
+        stale.write_text("partial")
+        os.utime(stale, (now - 7200, now - 7200))
+        fresh = tmp_path / ".inflight.json.456.tmp"
+        fresh.write_text("partial")
+        os.utime(fresh, (now - 10, now - 10))
+        report = prune_cache_dir(tmp_path, max_age_s=999_999, now=now)
+        assert report.removed_tmp == 1
+        assert not stale.exists() and fresh.exists()
+
+    def test_parse_and_format_size(self):
+        assert parse_size("1024") == 1024
+        assert parse_size("4K") == 4096
+        assert parse_size("1.5M") == int(1.5 * (1 << 20))
+        assert parse_size("2GiB") == 2 << 30
+        assert parse_size("100B") == 100
+        with pytest.raises(ValueError):
+            parse_size("many")
+        assert format_size(512) == "512 B"
+        assert format_size(1536) == "1.5 KiB"
+
+    def test_failed_unlink_stays_in_accounting(self, tmp_path, monkeypatch):
+        from pathlib import Path
+
+        now = self._populate(tmp_path, count=3, size=100)
+        original_unlink = Path.unlink
+
+        def stubborn_unlink(self, *args, **kwargs):
+            if self.name == "entry0.json":  # oldest entry refuses to die
+                raise PermissionError(13, "denied")
+            return original_unlink(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "unlink", stubborn_unlink)
+        report = prune_cache_dir(tmp_path, max_bytes=0, now=now)
+        assert {entry.key for entry in report.removed} == {"entry1", "entry2"}
+        assert report.remaining == 1
+        assert report.remaining_bytes > 0  # the undeletable file still counts
+        assert (tmp_path / "entry0.json").exists()
+
+    def test_invalid_limits_rejected(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            prune_cache_dir(tmp_path, max_bytes=-1)
+        with pytest.raises(ExperimentError):
+            prune_cache_dir(tmp_path, max_age_s=-1.0)
+
+
+class TestCacheCli:
+    def _populate_real(self, root, quiet_config):
+        config = quiet_config()
+        experiment_cache = ExperimentCache(disk_dir=root)
+        activity_cache = ActivityCache(disk_dir=root / "activity")
+        run_experiment(config, cache=experiment_cache, activity_cache=activity_cache)
+        return config
+
+    def test_stats_and_ls(self, tmp_path, quiet_config, capsys):
+        self._populate_real(tmp_path, quiet_config)
+        assert cache_cli(["stats", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "experiment" in out and "activity" in out
+
+        assert cache_cli(["ls", "--dir", str(tmp_path), "--json"]) == 0
+        listed = json.loads(capsys.readouterr().out)
+        assert {entry["tier"] for entry in listed} == {"experiment", "activity"}
+
+    def test_env_var_dir(self, tmp_path, quiet_config, capsys, monkeypatch):
+        self._populate_real(tmp_path, quiet_config)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert cache_cli(["stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["entries"] >= 2
+
+    def test_prune_and_clear(self, tmp_path, quiet_config, capsys):
+        self._populate_real(tmp_path, quiet_config)
+        assert cache_cli(["prune", "--dir", str(tmp_path), "--max-bytes", "0", "--dry-run", "--json"]) == 0
+        dry = json.loads(capsys.readouterr().out)
+        assert dry["dry_run"] is True and dry["removed"] >= 2
+        assert len(scan_cache_dir(tmp_path)) == dry["removed"]
+
+        assert cache_cli(["clear", "--dir", str(tmp_path), "--tier", "activity"]) == 0
+        capsys.readouterr()
+        assert {entry.tier for entry in scan_cache_dir(tmp_path)} == {"experiment"}
+
+        assert cache_cli(["prune", "--dir", str(tmp_path), "--max-bytes", "0"]) == 0
+        capsys.readouterr()
+        assert scan_cache_dir(tmp_path) == []
+
+    def test_requires_directory(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        with pytest.raises(SystemExit):
+            cache_cli(["stats"])
+
+    def test_prune_requires_a_limit(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cache_cli(["prune", "--dir", str(tmp_path)])
+
+    def test_bad_size_is_an_error_exit(self, tmp_path, capsys):
+        assert cache_cli(["prune", "--dir", str(tmp_path), "--max-bytes", "huge"]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestDefaultCacheWiring:
+    def test_activity_tier_under_cache_dir(
+        self, tmp_path, monkeypatch, reset_default_caches
+    ):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        experiment = get_default_cache()
+        activity = get_default_activity_cache()
+        assert experiment.disk_dir == tmp_path
+        assert activity.disk_dir == tmp_path / "activity"
+
+    def test_no_cache_disables_both(self, monkeypatch, reset_default_caches):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        assert get_default_cache() is None
+        assert get_default_activity_cache() is None
+
+    def test_activity_lru_width_env(self, monkeypatch, reset_default_caches):
+        monkeypatch.setenv("REPRO_ACTIVITY_CACHE_MAX_ENTRIES", "7")
+        assert get_default_activity_cache().max_entries == 7
+        monkeypatch.setenv("REPRO_CACHE_MAX_ENTRIES", "nope")
+        reset_default_caches._default_initialized = False
+        with pytest.raises(ExperimentError):
+            get_default_cache()
+
+    def test_auto_prune_on_first_use(self, tmp_path, monkeypatch, reset_default_caches):
+        old = tmp_path / "stale.json"
+        old.write_text("{}")
+        os.utime(old, (1_000, 1_000))  # 1970: older than any age limit
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.setenv("REPRO_CACHE_MAX_AGE_DAYS", "30")
+        get_default_cache()
+        assert not old.exists()
+
+
+class TestSweepRobustness:
+    def _failing_config(self, quiet_config):
+        # Valid at construction time, fails inside the harness (and thus
+        # inside pool workers) when the pattern is built.
+        return quiet_config(
+            pattern_params={"bogus_param": 1.0}, label="the bad point"
+        )
+
+    def test_inline_failure_attaches_label(self, quiet_config):
+        configs = [quiet_config(), self._failing_config(quiet_config)]
+        with pytest.raises(ExperimentError, match="the bad point"):
+            run_configs(configs, cache=None, activity_cache=None)
+
+    def test_pool_failure_attaches_label_and_cancels(self, quiet_config):
+        configs = [
+            quiet_config(),
+            self._failing_config(quiet_config),
+            quiet_config(matrix_size=256),
+        ]
+        with pytest.raises(ExperimentError, match="the bad point"):
+            run_configs(configs, workers=2, cache=None, activity_cache=None)
+
+    def test_chunked_pool_failure_names_the_chunk(self, quiet_config):
+        # With chunksize > 1 a failing chunk loses its earlier results too,
+        # so the error must name every candidate point, not blame the first.
+        configs = [
+            quiet_config(label="good point"),
+            self._failing_config(quiet_config),
+            quiet_config(matrix_size=256),
+            quiet_config(base_seed=7),
+        ]
+        with pytest.raises(ExperimentError, match="the bad point"):
+            run_configs(
+                configs, workers=2, chunksize=2, cache=None, activity_cache=None
+            )
+
+    def test_pool_usable_after_failure(self, quiet_config):
+        with pytest.raises(ExperimentError):
+            run_configs(
+                [self._failing_config(quiet_config), quiet_config()],
+                workers=2,
+                cache=None,
+                activity_cache=None,
+            )
+        results = run_configs(
+            [quiet_config(), quiet_config(matrix_size=256)],
+            workers=2,
+            cache=None,
+            activity_cache=None,
+        )
+        assert len(results) == 2
+
+    def test_pool_honours_explicit_activity_cache_disable(
+        self, quiet_config, tmp_path, monkeypatch, reset_default_caches
+    ):
+        # Workers resolve their default caches lazily from the environment;
+        # an explicit activity_cache=None must override that and fully
+        # disable the tier (no entries written), while the default sentinel
+        # lets workers populate the shared disk tier.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        configs = [quiet_config(), quiet_config(matrix_size=256)]
+        run_configs(configs, workers=2, cache=None, activity_cache=None)
+        activity_dir = tmp_path / "activity"
+        assert not activity_dir.is_dir() or not list(activity_dir.glob("*.json"))
+
+        run_configs(configs, workers=2, cache=None)
+        assert list(activity_dir.glob("*.json"))
+
+    def test_oversized_chunksize_is_capped(self, quiet_config):
+        configs = [
+            quiet_config(),
+            quiet_config(matrix_size=256),
+            quiet_config(base_seed=7),
+        ]
+        results = run_configs(
+            configs, workers=2, chunksize=99, cache=None, activity_cache=None
+        )
+        assert len(results) == 3
+
+    def test_zero_and_negative_chunksize_rejected(self, quiet_config):
+        for bad in (0, -3):
+            with pytest.raises(ExperimentError, match="chunksize"):
+                run_configs([quiet_config()], chunksize=bad, cache=None)

@@ -45,9 +45,11 @@ class TestWorkflow:
         path = REPO_ROOT / ".github" / "workflows" / "ci.yml"
         assert path.exists()
         text = path.read_text()
-        # tier-1 command, benchmark smoke and lint gates must all be wired.
+        # tier-1 command, benchmark smoke (with timing artifact) and lint
+        # gates must all be wired.
         assert "python -m pytest -x -q" in text
         assert "bench_engine_performance.py" in text
-        assert "--benchmark-disable" in text
+        assert "--benchmark-json" in text
+        assert "upload-artifact" in text
         assert "ruff check" in text
         assert "examples/quickstart.py" in text
