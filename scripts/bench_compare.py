@@ -1,0 +1,125 @@
+#!/usr/bin/env python3
+"""Compare two pytest-benchmark JSON files and flag regressions.
+
+Used by CI to diff the current run's tiny-size timings against the previous
+successful run's uploaded artifact (or, when none is available, against the
+seeded ``benchmarks/BENCH_sweep_backends.json`` baseline).  Regressions are
+*warnings*, never failures: CI machines differ in speed, so a timing delta
+annotates the run for a human to look at instead of gating the build.
+
+Usage::
+
+    python scripts/bench_compare.py CURRENT.json BASELINE.json \
+        [--threshold 25] [--github]
+
+``--github`` emits ``::warning::`` workflow commands so regressions surface
+as annotations on the run.  Exit status is always 0 unless the inputs are
+unreadable; pass ``--fail-on-regression`` to gate locally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_means(path: Path) -> dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    data = json.loads(path.read_text())
+    means: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name")
+        mean = bench.get("stats", {}).get("mean")
+        if name and isinstance(mean, (int, float)) and mean > 0:
+            means[name] = float(mean)
+    return means
+
+
+def compare(
+    current: dict[str, float], baseline: dict[str, float], threshold_pct: float
+) -> "tuple[list[tuple[str, float, float, float]], list[str]]":
+    """Pair up benchmarks; return (rows, regressed names).
+
+    Each row is ``(name, baseline_mean, current_mean, delta_pct)`` for
+    benchmarks present in both files; benchmarks only on one side are
+    reported but cannot regress.
+    """
+    rows = []
+    regressed = []
+    for name in sorted(set(current) & set(baseline)):
+        base, cur = baseline[name], current[name]
+        delta_pct = (cur / base - 1.0) * 100.0
+        rows.append((name, base, cur, delta_pct))
+        if delta_pct > threshold_pct:
+            regressed.append(name)
+    return rows, regressed
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="this run's benchmark JSON")
+    parser.add_argument("baseline", type=Path, help="previous/baseline benchmark JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=25.0,
+        help="warn when a benchmark's mean grew by more than this percent",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit ::warning:: workflow commands for regressions",
+    )
+    parser.add_argument(
+        "--fail-on-regression",
+        action="store_true",
+        help="exit non-zero when any benchmark regressed (off in CI: warn only)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        current = load_means(args.current)
+        baseline = load_means(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"bench-compare: cannot read inputs: {exc}", file=sys.stderr)
+        return 2
+    if not current or not baseline:
+        print("bench-compare: nothing to compare (empty benchmark set)")
+        return 0
+
+    rows, regressed = compare(current, baseline, args.threshold)
+    width = max((len(name) for name, *_ in rows), default=10)
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  {'delta':>8}")
+    for name, base, cur, delta in rows:
+        marker = "  <-- regression" if delta > args.threshold else ""
+        print(
+            f"{name:<{width}}  {base * 1e3:>10.3f}ms  {cur * 1e3:>10.3f}ms  "
+            f"{delta:>+7.1f}%{marker}"
+        )
+    only_current = sorted(set(current) - set(baseline))
+    if only_current:
+        print(f"new benchmarks (no baseline): {', '.join(only_current)}")
+    only_baseline = sorted(set(baseline) - set(current))
+    if only_baseline:
+        print(f"dropped benchmarks (baseline only): {', '.join(only_baseline)}")
+
+    if regressed:
+        summary = (
+            f"{len(regressed)} benchmark(s) regressed by more than "
+            f"{args.threshold:g}% vs baseline: {', '.join(regressed)}"
+        )
+        if args.github:
+            print(f"::warning title=Benchmark regression::{summary}")
+        else:
+            print(f"WARNING: {summary}")
+        if args.fail_on_regression:
+            return 1
+    else:
+        print(f"no regressions above {args.threshold:g}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -149,6 +149,7 @@ def measure_gemm_power_batch(
     workloads: "list[ExperimentConfig | dict]",
     workers: int = 1,
     progress: "object | None" = None,
+    backend: str = "auto",
 ) -> list[ExperimentResult]:
     """Measure a batch of workloads in one call.
 
@@ -156,7 +157,8 @@ def measure_gemm_power_batch(
     :func:`measure_gemm_power` keyword arguments.  The batch goes through
     the sweep runner, so identical workloads are computed once, previously
     measured ones come from the result cache, and ``workers > 1`` fans the
-    remainder out over a process pool.
+    remainder out over a :mod:`repro.parallel` execution backend
+    (released-GIL threads by default; see ``backend=``).
     """
     configs = [
         workload
@@ -164,4 +166,4 @@ def measure_gemm_power_batch(
         else _build_config(**workload)
         for workload in workloads
     ]
-    return run_configs(configs, workers=workers, progress=progress)
+    return run_configs(configs, workers=workers, progress=progress, backend=backend)

@@ -48,6 +48,7 @@ from repro.kernels.schedule import (
     build_streams,
     build_streams_stacked,
 )
+from repro.parallel.calibrate import DEFAULT_CHUNK_BUDGET_BYTES, chunk_budget_bytes
 
 __all__ = [
     "ActivityEngine",
@@ -62,26 +63,35 @@ OperandSource = (
     "GemmOperands | OperandStreams | Callable[[], GemmOperands | OperandStreams]"
 )
 
-#: Per-chunk budget for the batched engine, in bytes of stacked A-operand
-#: data.  The activity estimators are memory-bandwidth bound: stacking more
-#: invocations than fit in cache makes every pass stream from DRAM and is
-#: *slower* than processing seeds one at a time, so the batch is processed
-#: in chunks whose working set stays cache-resident.  Stacking therefore
-#: only engages for small problems, where per-call overhead (not bandwidth)
-#: dominates.
-BATCH_CHUNK_BUDGET_BYTES = 1 << 20
+#: Historical (uncalibrated) per-chunk budget for the batched engine, in
+#: bytes of stacked A-operand data.  The activity estimators are
+#: memory-bandwidth bound: stacking more invocations than fit in cache makes
+#: every pass stream from DRAM and is *slower* than processing seeds one at
+#: a time, so the batch is processed in chunks whose working set stays
+#: cache-resident.  Stacking therefore only engages for small problems,
+#: where per-call overhead (not bandwidth) dominates.  The live budget now
+#: comes from :func:`repro.parallel.calibrate.chunk_budget_bytes` — a
+#: per-machine probe with a ``REPRO_BATCH_CHUNK_BUDGET`` override — and this
+#: name remains as a back-compat alias of that module's fallback default
+#: (one source of truth: ``repro.parallel.calibrate``).
+BATCH_CHUNK_BUDGET_BYTES = DEFAULT_CHUNK_BUDGET_BYTES
 
 
 def recommended_chunk(per_invocation_values: int) -> int:
     """How many invocations of ``per_invocation_values`` float64 operand
-    values to stack per pass (see :data:`BATCH_CHUNK_BUDGET_BYTES`).
+    values to stack per pass.
 
-    Callers that generate operands on the fly (e.g. the experiment harness)
-    use this to size their generation chunks so peak memory stays bounded by
-    the chunk, not the whole batch.
+    The per-chunk working-set budget is machine-calibrated (see
+    :mod:`repro.parallel.calibrate`; ``REPRO_BATCH_CHUNK_BUDGET`` overrides,
+    :data:`BATCH_CHUNK_BUDGET_BYTES` is the fallback).  Callers that
+    generate operands on the fly (e.g. the experiment harness) use this to
+    size their generation chunks so peak memory stays bounded by the chunk,
+    not the whole batch.  Chunking never changes results — chunked
+    estimation is bit-for-bit identical at any chunk size — so the budget
+    only affects speed.
     """
     per_invocation_bytes = per_invocation_values * 8
-    return max(1, BATCH_CHUNK_BUDGET_BYTES // max(per_invocation_bytes, 1))
+    return max(1, chunk_budget_bytes() // max(per_invocation_bytes, 1))
 
 
 def estimate_activity(
@@ -190,9 +200,9 @@ def estimate_activity_batch(
         what the measurement harness uses for its seed loop.
     chunk:
         How many invocations to stack per pass.  Defaults to an automatic
-        choice that keeps each chunk's working set cache-resident (see
-        :data:`BATCH_CHUNK_BUDGET_BYTES`); pass an explicit value to
-        override.
+        choice that keeps each chunk's working set cache-resident (the
+        machine-calibrated budget of :func:`repro.parallel.calibrate.
+        chunk_budget_bytes`); pass an explicit value to override.
     cache:
         Optional :class:`~repro.cache.store.ActivityCache` (or the
         ``DEFAULT_CACHE`` sentinel for the process-wide one).  ``None`` —

@@ -4,9 +4,14 @@ Subcommands operate on a cache root directory (``--dir`` or the
 ``REPRO_CACHE_DIR`` environment variable) holding the two tiers written by
 :mod:`repro.cache.store`:
 
-* ``stats`` — entry counts, byte totals and age range per tier.
+* ``stats`` — entry counts, byte totals and age range per tier.  When
+  :func:`main` is invoked from a process that already holds default cache
+  instances (rather than via a fresh subprocess), the report also includes
+  each live cache's in-memory LRU occupancy and hit/miss counters.
 * ``ls``    — list entries (key, tier, size, age), oldest first.
-* ``prune`` — garbage-collect by total size and/or age.
+* ``prune`` — garbage-collect by total size and/or age.  Size pruning
+  evicts by cost-weighted age (cheap-to-rebuild activity entries first; see
+  ``--experiment-cost``).
 * ``clear`` — remove every entry of one or both tiers.
 
 Examples::
@@ -14,7 +19,7 @@ Examples::
     python -m repro.cache stats
     python -m repro.cache ls --tier activity
     python -m repro.cache prune --max-bytes 500M --max-age-days 30
-    python -m repro.cache prune --max-bytes 1G --dry-run
+    python -m repro.cache prune --max-bytes 1G --experiment-cost 250 --dry-run
     python -m repro.cache clear --tier experiment
 """
 
@@ -34,6 +39,7 @@ from repro.cache.lifecycle import (
     prune_cache_dir,
     scan_cache_dir,
 )
+from repro.cache.store import peek_default_caches
 from repro.errors import ReproError
 
 __all__ = ["main"]
@@ -79,6 +85,16 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="remove entries older than this many days",
     )
+    prune.add_argument(
+        "--experiment-cost",
+        type=float,
+        default=None,
+        help=(
+            "recomputation-cost multiplier of experiment entries relative to "
+            "activity entries for size pruning (default ~100; also "
+            "settable via REPRO_CACHE_EXPERIMENT_COST)"
+        ),
+    )
     prune.add_argument("--tier", choices=(*TIERS, "all"), default="all")
     prune.add_argument(
         "--dry-run", action="store_true", help="report what would be removed"
@@ -120,6 +136,15 @@ def _age(seconds: float) -> str:
 def _cmd_stats(args: argparse.Namespace) -> int:
     root = _resolve_dir(args)
     stats = cache_dir_stats(root)
+    # Disk stats describe the directory; the in-memory LRU tiers only exist
+    # inside a running process.  When main() is called from such a process
+    # (not a fresh `python -m` subprocess) report its live caches too — but
+    # only when no explicit --dir was given: the live caches belong to the
+    # process's own $REPRO_CACHE_DIR root, and attaching their counters to
+    # a stats report about some *other* directory would misattribute them.
+    live = peek_default_caches() if args.cache_dir is None else {}
+    if live:
+        stats["memory"] = {tier: cache.describe_memory() for tier, cache in live.items()}
     if args.json:
         print(json.dumps(stats, indent=2))
         return 0
@@ -138,6 +163,13 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             )
         print(line)
     print(f"  {'total':<10} {stats['entries']:>6} entries  {format_size(stats['bytes']):>10}")
+    for tier, info in stats.get("memory", {}).items():  # type: ignore[union-attr]
+        print(
+            f"  [live] {tier:<10} {info['entries']}/{info['max_entries']} in memory  "
+            f"{info['hits']} hits / {info['misses']} misses "
+            f"({info['hit_rate']:.0%} hit rate), {info['puts']} puts, "
+            f"{info['evictions']} evictions"
+        )
     return 0
 
 
@@ -194,12 +226,18 @@ def _cmd_prune(args: argparse.Namespace) -> int:
         raise SystemExit("prune needs --max-bytes and/or --max-age-days")
     max_bytes = parse_size(args.max_bytes) if args.max_bytes is not None else None
     max_age_s = args.max_age_days * 86400.0 if args.max_age_days is not None else None
+    cost_weights = (
+        {"experiment": args.experiment_cost}
+        if args.experiment_cost is not None
+        else None
+    )
     report = prune_cache_dir(
         root,
         max_bytes=max_bytes,
         max_age_s=max_age_s,
         tiers=_tiers(args),
         dry_run=args.dry_run,
+        cost_weights=cost_weights,
     )
     return _report(report, args)
 

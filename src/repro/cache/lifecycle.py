@@ -19,21 +19,25 @@ simply recomputes — the cache is a pure performance layer.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Mapping
 
 from repro.cache.store import ACTIVITY_SUBDIR
 from repro.errors import ExperimentError
 
 __all__ = [
     "TIERS",
+    "DEFAULT_COST_WEIGHTS",
+    "ENV_EXPERIMENT_COST",
     "CacheEntry",
     "PruneReport",
     "tier_dir",
     "scan_cache_dir",
     "cache_dir_stats",
+    "resolve_cost_weights",
     "prune_cache_dir",
     "clear_cache_dir",
     "parse_size",
@@ -42,6 +46,18 @@ __all__ = [
 
 #: Known cache tiers, in the order the CLI reports them.
 TIERS = ("experiment", "activity")
+
+#: Relative recomputation cost per tier, used to weight the size-based
+#: eviction order.  An experiment entry re-runs the full measurement
+#: pipeline for every seed (~100x the work of the single per-seed activity
+#: estimate an activity entry stores, at paper scale), so it survives size
+#: pressure ~100x longer than an activity entry of the same age: GC evicts
+#: cheap-to-rebuild entries first.
+DEFAULT_COST_WEIGHTS: "Mapping[str, float]" = {"experiment": 100.0, "activity": 1.0}
+
+#: Environment override for the experiment tier's cost multiplier (a float;
+#: consulted when no explicit ``cost_weights`` mapping is passed).
+ENV_EXPERIMENT_COST = "REPRO_CACHE_EXPERIMENT_COST"
 
 #: Temp files from interrupted atomic writes older than this are removed by
 #: every prune pass, whatever the size/age limits.
@@ -185,6 +201,40 @@ def _sweep_stale_tmp(root: Path, now: float, report: PruneReport) -> None:
                 continue
 
 
+def resolve_cost_weights(
+    cost_weights: "Mapping[str, float] | None" = None,
+) -> "dict[str, float]":
+    """Resolve the per-tier recomputation-cost multipliers for pruning.
+
+    An explicit mapping overrides individual tiers (missing tiers keep their
+    defaults); with no mapping, ``REPRO_CACHE_EXPERIMENT_COST`` can scale
+    the experiment tier from the environment.  Weights must be positive.
+    """
+    weights = dict(DEFAULT_COST_WEIGHTS)
+    if cost_weights is None:
+        raw = os.environ.get(ENV_EXPERIMENT_COST, "").strip()
+        if raw:
+            try:
+                weights["experiment"] = float(raw)
+            except ValueError:
+                raise ExperimentError(
+                    f"{ENV_EXPERIMENT_COST} must be a number, got {raw!r}"
+                ) from None
+    else:
+        for tier, weight in cost_weights.items():
+            if tier not in TIERS:
+                raise ExperimentError(
+                    f"unknown cache tier {tier!r} in cost_weights; expected one of {TIERS}"
+                )
+            weights[tier] = float(weight)
+    for tier, weight in weights.items():
+        if not weight > 0:
+            raise ExperimentError(
+                f"cost weight for tier {tier!r} must be > 0, got {weight}"
+            )
+    return weights
+
+
 def prune_cache_dir(
     root: "str | Path",
     max_bytes: int | None = None,
@@ -192,19 +242,27 @@ def prune_cache_dir(
     tiers: Iterable[str] = TIERS,
     dry_run: bool = False,
     now: float | None = None,
+    cost_weights: "Mapping[str, float] | None" = None,
 ) -> PruneReport:
     """Garbage-collect a cache directory by age and/or total size.
 
-    Entries older than ``max_age_s`` are removed first; if the surviving
-    entries still exceed ``max_bytes`` in total, the oldest are removed
-    (across both tiers) until the directory fits.  ``dry_run`` reports what
-    would be deleted without touching anything.  Stale temp files from
-    interrupted writes are always swept.
+    Entries older than ``max_age_s`` are removed first (staleness is
+    absolute, so age pruning ignores cost).  If the surviving entries still
+    exceed ``max_bytes`` in total, entries are removed in order of
+    *cost-weighted* age — each entry's age divided by its tier's
+    recomputation-cost multiplier (``cost_weights``,
+    :data:`DEFAULT_COST_WEIGHTS`, or ``REPRO_CACHE_EXPERIMENT_COST``) —
+    until the directory fits.  With the default ~100x experiment weight, an
+    hour-old activity entry is evicted before a two-day-old experiment
+    entry: GC sheds the entries that are cheapest to rebuild first.
+    ``dry_run`` reports what would be deleted without touching anything.
+    Stale temp files from interrupted writes are always swept.
     """
     if max_bytes is not None and max_bytes < 0:
         raise ExperimentError(f"max_bytes must be >= 0, got {max_bytes}")
     if max_age_s is not None and max_age_s < 0:
         raise ExperimentError(f"max_age_s must be >= 0, got {max_age_s}")
+    weights = resolve_cost_weights(cost_weights)
     root = Path(root)
     now = now if now is not None else time.time()
     report = PruneReport(dry_run=dry_run)
@@ -222,10 +280,18 @@ def prune_cache_dir(
 
     if max_bytes is not None:
         total = sum(entry.size_bytes for entry in survivors)
+        # Eviction order: largest effective age first, where effective age
+        # discounts an entry by how expensive it is to recompute.  Ties
+        # (same mtime and tier) keep the scan's stable path order.
+        order = sorted(
+            survivors,
+            key=lambda entry: entry.age_s(now) / weights[entry.tier],
+            reverse=True,
+        )
         kept: list[CacheEntry] = []
-        for index, entry in enumerate(survivors):  # oldest first
+        for index, entry in enumerate(order):
             if total <= max_bytes:
-                kept.extend(survivors[index:])
+                kept.extend(order[index:])
                 break
             if _remove(entry, report):
                 total -= entry.size_bytes

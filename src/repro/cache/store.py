@@ -40,6 +40,7 @@ from __future__ import annotations
 import copy
 import json
 import os
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -64,6 +65,7 @@ __all__ = [
     "get_default_activity_cache",
     "set_default_activity_cache",
     "resolve_activity_cache",
+    "peek_default_caches",
 ]
 
 #: Subdirectory of a shared cache root (``REPRO_CACHE_DIR``) that holds the
@@ -111,6 +113,11 @@ class JsonDiskCache:
     :meth:`_serialize` and :meth:`_deserialize`; everything else — LRU
     bookkeeping, defensive copying, atomic disk writes and corrupt-entry
     recovery — is shared.
+
+    Instances are thread-safe: the sweep runner's ``threads`` backend has
+    many workers consulting one cache concurrently, so the LRU bookkeeping
+    and the usage counters are guarded by a re-entrant lock.  (Disk files
+    were already safe across *processes* via atomic temp-file publication.)
     """
 
     max_entries: int = 128
@@ -121,6 +128,7 @@ class JsonDiskCache:
         if self.max_entries < 1:
             raise ExperimentError(f"max_entries must be >= 1, got {self.max_entries}")
         self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._lock = threading.RLock()
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_dir.mkdir(parents=True, exist_ok=True)
@@ -140,47 +148,80 @@ class JsonDiskCache:
     # ------------------------------------------------------------------ API
 
     def get(self, key: str) -> Any:
-        """Return a copy of the stored value for ``key``, or ``None``."""
-        entry = self._entries.get(key)
+        """Return a copy of the stored value for ``key``, or ``None``.
+
+        Only the LRU bookkeeping and counters run under the lock; the
+        defensive deep copy and any disk read happen outside it, so
+        concurrent hits do not serialize on copying (stored entries are
+        never mutated in place — ``put`` inserts its own copy and ``get``
+        hands out copies — so unlocked reads of one entry are safe).
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
         if entry is not None:
-            self._entries.move_to_end(key)
-            self.stats.hits += 1
             return copy.deepcopy(entry)
         entry = self._load_from_disk(key)
-        if entry is not None:
-            self._insert(key, entry)
-            self.stats.hits += 1
-            self.stats.disk_hits += 1
-            return copy.deepcopy(entry)
-        self.stats.misses += 1
-        return None
+        with self._lock:
+            if entry is not None:
+                self._insert(key, entry)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+            else:
+                self.stats.misses += 1
+        return copy.deepcopy(entry) if entry is not None else None
 
     def put(self, key: str, value: Any) -> None:
-        """Store a copy of ``value`` under ``key`` (memory and disk)."""
+        """Store a copy of ``value`` under ``key`` (memory and disk).
+
+        The deep copy and the (atomic, uniquely-temp-named) disk write run
+        outside the lock for the same reason as in :meth:`get`.
+        """
         self._check_value(value)
-        self._insert(key, copy.deepcopy(value))
-        self.stats.puts += 1
-        if self.disk_dir is not None:
+        stored = copy.deepcopy(value)
+        with self._lock:
+            self._insert(key, stored)
+            self.stats.puts += 1
+            write_disk = self.disk_dir is not None
+        if write_disk:
             self._write_to_disk(key, value)
 
     def clear(self, disk: bool = False) -> None:
         """Drop every in-memory entry (and the disk files when ``disk``)."""
-        self._entries.clear()
-        if disk and self.disk_dir is not None:
-            for path in Path(self.disk_dir).glob("*.json"):
-                try:
-                    path.unlink()
-                except OSError:
-                    self.stats.disk_errors += 1
+        with self._lock:
+            self._entries.clear()
+            if disk and self.disk_dir is not None:
+                for path in Path(self.disk_dir).glob("*.json"):
+                    try:
+                        path.unlink()
+                    except OSError:
+                        self.stats.disk_errors += 1
+
+    def describe_memory(self) -> dict[str, Any]:
+        """In-memory LRU occupancy and usage counters, for live inspection
+        (the ``python -m repro.cache stats`` CLI includes this when invoked
+        from a process that has default caches instantiated)."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "disk_dir": str(self.disk_dir) if self.disk_dir is not None else None,
+                **self.stats.as_dict(),
+            }
 
     # ------------------------------------------------------------- dunders
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        if key in self._entries:
-            return True
+        with self._lock:
+            if key in self._entries:
+                return True
+        # Disk stat outside the lock, like every other disk touch here.
         return self.disk_dir is not None and self._path(key).exists()
 
     # ------------------------------------------------------------ internals
@@ -199,14 +240,19 @@ class JsonDiskCache:
     def _write_to_disk(self, key: str, value: Any) -> None:
         """Atomically publish one entry: temp file in the same directory,
         then :func:`os.replace`, so concurrent readers (and writers racing
-        on the same key) only ever see a complete JSON document."""
+        on the same key) only ever see a complete JSON document.  The temp
+        name includes the thread id because writes run outside the cache
+        lock — two threads of one process may publish the same key at once."""
         path = self._path(key)
-        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp = path.with_name(
+            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        )
         try:
             tmp.write_text(json.dumps(self._serialize(value)))
             os.replace(tmp, path)
         except OSError:
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.stats.disk_errors += 1
             try:
                 tmp.unlink()
             except OSError:
@@ -223,7 +269,8 @@ class JsonDiskCache:
         except (OSError, ValueError, KeyError, TypeError, ReproError):
             # A corrupt or incompatible file is a miss; delete it so it does
             # not occupy disk space or trip every future lookup.
-            self.stats.disk_errors += 1
+            with self._lock:
+                self.stats.disk_errors += 1
             try:
                 path.unlink()
             except OSError:
@@ -403,3 +450,19 @@ def resolve_activity_cache(cache: "ActivityCache | None | object") -> ActivityCa
         "activity_cache must be an ActivityCache, None or DEFAULT_CACHE, "
         f"got {type(cache).__name__}"
     )
+
+
+def peek_default_caches() -> "dict[str, JsonDiskCache]":
+    """The default cache instances this process has *already* created.
+
+    Unlike the ``get_default_*`` accessors this never instantiates anything:
+    it is how the ``python -m repro.cache stats`` CLI reports live in-memory
+    counters when invoked from a running process, without a fresh subprocess
+    invocation fabricating empty caches just to describe them.
+    """
+    live: dict[str, JsonDiskCache] = {}
+    if _default_initialized and _default_cache is not None:
+        live["experiment"] = _default_cache
+    if _default_activity_initialized and _default_activity_cache is not None:
+        live["activity"] = _default_activity_cache
+    return live

@@ -7,6 +7,7 @@ from dataclasses import dataclass, replace
 from repro.dtypes.registry import PAPER_DTYPES, get_dtype
 from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
+from repro.parallel.backends import BACKENDS
 
 __all__ = ["FigureSettings", "base_config", "mean_sweep_values"]
 
@@ -27,6 +28,9 @@ class FigureSettings:
     #: number of points per swept parameter (sweeps are subsampled to this)
     sweep_points: int = 5
     workers: int = 1
+    #: sweep execution backend (see :mod:`repro.parallel`): ``"auto"``
+    #: resolves to released-GIL threads when ``workers > 1``
+    backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.matrix_size < 8:
@@ -35,6 +39,10 @@ class FigureSettings:
             raise ExperimentError(f"seeds must be >= 1, got {self.seeds}")
         if self.sweep_points < 2:
             raise ExperimentError(f"sweep_points must be >= 2, got {self.sweep_points}")
+        if self.backend not in BACKENDS + ("auto",):
+            raise ExperimentError(
+                f"backend must be one of {BACKENDS + ('auto',)}, got {self.backend!r}"
+            )
         for dtype in self.dtypes:
             get_dtype(dtype)
 

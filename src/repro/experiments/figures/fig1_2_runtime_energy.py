@@ -23,7 +23,7 @@ def _run_dtype_comparison(settings: FigureSettings) -> SweepResult:
         )
         for dtype in settings.dtypes
     ]
-    results = run_configs(configs, workers=settings.workers)
+    results = run_configs(configs, workers=settings.workers, backend=settings.backend)
     return SweepResult(
         parameter="dtype",
         values=list(settings.dtypes),

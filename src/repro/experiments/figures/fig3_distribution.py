@@ -47,6 +47,7 @@ def run_fig3_distribution(settings: FigureSettings | None = None) -> FigureResul
                 std_values,
                 label=f"Fig3a std sweep ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -60,6 +61,7 @@ def run_fig3_distribution(settings: FigureSettings | None = None) -> FigureResul
                 mean_values,
                 label=f"Fig3b mean sweep ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -73,6 +75,7 @@ def run_fig3_distribution(settings: FigureSettings | None = None) -> FigureResul
                 set_values,
                 label=f"Fig3c value-set sweep ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 

@@ -48,6 +48,7 @@ def run_fig4_bit_similarity(settings: FigureSettings | None = None) -> FigureRes
                 flip_values,
                 label=f"Fig4a random bit flips ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -61,6 +62,7 @@ def run_fig4_bit_similarity(settings: FigureSettings | None = None) -> FigureRes
                 fraction_values,
                 label=f"Fig4b randomized LSBs ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -73,6 +75,7 @@ def run_fig4_bit_similarity(settings: FigureSettings | None = None) -> FigureRes
                 fraction_values,
                 label=f"Fig4c randomized MSBs ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 

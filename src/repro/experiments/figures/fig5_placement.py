@@ -41,6 +41,7 @@ def run_fig5_placement(settings: FigureSettings | None = None) -> FigureResult:
                 fractions,
                 label=f"Fig5a sorted into rows, B not transposed ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -55,6 +56,7 @@ def run_fig5_placement(settings: FigureSettings | None = None) -> FigureResult:
                 fractions,
                 label=f"Fig5b sorted and aligned, B transposed ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -69,6 +71,7 @@ def run_fig5_placement(settings: FigureSettings | None = None) -> FigureResult:
                 fractions,
                 label=f"Fig5c sorted into columns ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -83,6 +86,7 @@ def run_fig5_placement(settings: FigureSettings | None = None) -> FigureResult:
                 fractions,
                 label=f"Fig5d sorted within rows ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 

@@ -49,6 +49,7 @@ def run_fig6_sparsity(settings: FigureSettings | None = None) -> FigureResult:
                 sparsity_values,
                 label=f"Fig6a general sparsity ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -64,6 +65,7 @@ def run_fig6_sparsity(settings: FigureSettings | None = None) -> FigureResult:
                 sorted_sparsity_values,
                 label=f"Fig6b sparsity after sorting ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -77,6 +79,7 @@ def run_fig6_sparsity(settings: FigureSettings | None = None) -> FigureResult:
                 zero_values,
                 label=f"Fig6c zeroed LSBs ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 
@@ -89,6 +92,7 @@ def run_fig6_sparsity(settings: FigureSettings | None = None) -> FigureResult:
                 zero_values,
                 label=f"Fig6d zeroed MSBs ({dtype})",
                 workers=settings.workers,
+                backend=settings.backend,
             ),
         )
 

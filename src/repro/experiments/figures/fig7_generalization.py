@@ -83,6 +83,7 @@ def run_fig7_generalization(settings: FigureSettings | None = None) -> FigureRes
                 values,
                 label=f"Fig7 {experiment} on {gpu} ({size}^2, {FIG7_DTYPE})",
                 workers=settings.workers,
+                backend=settings.backend,
             )
             figure.add_panel(f"{gpu}/{experiment}", sweep)
 

@@ -57,7 +57,7 @@ def run_fig8_alignment(settings: FigureSettings | None = None) -> FigureResult:
     all_results: list[ExperimentResult] = []
     for dtype in settings.dtypes:
         configs = scatter_configurations(settings, dtype)
-        results = run_configs(configs, workers=settings.workers)
+        results = run_configs(configs, workers=settings.workers, backend=settings.backend)
         all_results.extend(results)
         sweep = SweepResult(
             parameter="configuration",

@@ -54,7 +54,16 @@ MIN_MEASUREMENT_DURATION_S = 3.0
 
 
 class ExperimentRunner:
-    """Runs one :class:`~repro.experiments.config.ExperimentConfig`."""
+    """Runs one :class:`~repro.experiments.config.ExperimentConfig`.
+
+    Each runner builds its own device, power/runtime models and activity
+    engine, and shares nothing mutable with other runners except the
+    (thread-safe) caches — so the sweep runner may drive many of them
+    concurrently from its ``threads`` backend.  The expensive part of a run
+    is switching-activity estimation, whose kernels release the GIL inside
+    NumPy (see :mod:`repro.util.bits`), which is what makes those threads
+    scale.
+    """
 
     def __init__(
         self,
@@ -93,6 +102,8 @@ class ExperimentRunner:
         # The engine materializes operand factories chunk by chunk (matching
         # its own stacking granularity) so peak memory is one chunk of seeds,
         # not the whole batch — at paper scale a seed's operands are ~70 MB.
+        # The chunk is sized from the machine-calibrated working-set budget
+        # (repro.parallel.calibrate), not a fixed constant.
         per_invocation = problem.n * problem.k + problem.m * problem.k
         chunk = recommended_chunk(per_invocation)
         factories = [

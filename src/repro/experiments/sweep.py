@@ -2,28 +2,33 @@
 
 Sweeps are the unit of work behind every figure panel: one configuration,
 one parameter varied over a list of values.  Runs are embarrassingly
-parallel across sweep points; ``workers > 1`` distributes them over a
-process pool (each point re-creates its device and models locally, so no
-state is shared).
+parallel across sweep points; ``workers > 1`` distributes them over one of
+the :mod:`repro.parallel` backends (each point re-creates its device and
+models locally, so no state is shared).  ``backend="auto"`` — the default —
+resolves to a thread pool: the estimation kernels release the GIL inside
+NumPy, so threads scale without pickling configs out or results back.
+``backend="processes"`` keeps a process pool available for GIL-holding
+workloads; its results return through shared memory
+(:mod:`repro.parallel.shm`) rather than the executor's pickle pipe.
+Results are bit-for-bit identical across backends at any worker count.
 
 The runner is cache- and duplicate-aware: every configuration is
 fingerprinted (:mod:`repro.cache.fingerprint`), physically identical points
 are computed once, previously computed points are served from the
 content-addressed result cache, and only the remainder is submitted to the
-pool — in chunks, to amortize process start-up and pickling.  Beneath the
-result cache sits the per-seed activity tier: points that differ only in
-GPU model, clocks or measurement procedure reuse one switching-activity
-estimate per seed, so a warm cross-device sweep skips estimation entirely.
-A ``progress`` hook and a :class:`RunStats` out-parameter expose what
-happened; a failing point cancels the rest of the pool's queue and is
-re-raised with its config label attached.
+backend — in chunks for the process pool, to amortize start-up costs.
+Beneath the result cache sits the per-seed activity tier: points that
+differ only in GPU model, clocks or measurement procedure reuse one
+switching-activity estimate per seed, so a warm cross-device sweep skips
+estimation entirely.  A ``progress`` hook and a :class:`RunStats`
+out-parameter expose what happened; a failing point cancels the rest of
+the backend's queue and is re-raised with its config label attached.
 """
 
 from __future__ import annotations
 
 import copy
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from functools import partial
 from typing import Any, Callable, Iterable, Sequence
@@ -34,6 +39,8 @@ from repro.errors import ExperimentError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ExperimentRunner
 from repro.experiments.results import ExperimentResult, SweepResult
+from repro.parallel import chunk_budget_bytes, get_executor, resolve_backend
+from repro.parallel.calibrate import seed_probed_budget
 
 __all__ = ["RunStats", "run_sweep", "run_configs", "sweep_configs"]
 
@@ -60,6 +67,9 @@ class RunStats:
     executed: int = 0
     #: wall-clock time of the whole call, seconds
     duration_s: float = 0.0
+    #: execution backend the computed points actually ran on (``"serial"``
+    #: when everything was inline or served from the cache)
+    backend: str = "serial"
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -68,6 +78,7 @@ class RunStats:
             "cache_hits": self.cache_hits,
             "executed": self.executed,
             "duration_s": self.duration_s,
+            "backend": self.backend,
         }
 
 
@@ -117,6 +128,22 @@ def _stamp_label(result: ExperimentResult, config: ExperimentConfig) -> Experime
     return result
 
 
+def _chunk_group(
+    pending: "Sequence[tuple[str, list[int]]]", position: int, span: int
+) -> "list[tuple[str, list[int]]]":
+    """The pending entries submitted in the same chunk as ``position``.
+
+    Chunks tile the pending list from the front in steps of ``span``, so the
+    chunk containing ``position`` starts at the previous multiple of ``span``
+    and ends at most ``span`` entries later — clamped to the list, because
+    the last chunk may be partial.  Blame for a chunk failure must cover
+    exactly that chunk: naming points past its boundary would accuse sweep
+    points that were never even submitted together with the failing one.
+    """
+    start = position - (position % span)
+    return list(pending[start : min(start + span, len(pending))])
+
+
 def run_configs(
     configs: Iterable[ExperimentConfig],
     workers: int = 1,
@@ -126,15 +153,16 @@ def run_configs(
     chunksize: int | None = None,
     progress: ProgressHook | None = None,
     stats: RunStats | None = None,
+    backend: str = "auto",
 ) -> list[ExperimentResult]:
-    """Run a list of configurations, optionally across a process pool.
+    """Run a list of configurations, optionally across an execution backend.
 
     Parameters
     ----------
     configs:
         The configurations to run; results come back in the same order.
     workers:
-        Process-pool width.  ``1`` runs inline.
+        Backend pool width.  ``1`` runs inline.
     cache:
         An explicit :class:`~repro.cache.store.ExperimentCache`, ``None`` to
         disable caching, or the default sentinel for the process-wide cache.
@@ -143,22 +171,32 @@ def run_configs(
         ``None``, or the default sentinel).  Points that only differ in GPU
         model, clocks or measurement procedure share one activity estimate
         per seed through it.  ``None`` disables the tier everywhere,
-        including pool workers; an explicit cache *instance* is only
-        honoured for inline execution — pool workers use their own process
-        default (which still shares warm entries via ``REPRO_CACHE_DIR``).
+        including pool workers.  An explicit cache *instance* is honoured by
+        the in-process backends (``serial`` and ``threads``); process-pool
+        workers cannot usefully share an in-memory instance, so they use
+        their own process default (which still shares warm entries via
+        ``REPRO_CACHE_DIR``).
     dedupe:
         Compute physically identical configurations (same fingerprint,
         labels aside) only once and fan the result back out.
     chunksize:
-        Pool submission chunk size; defaults to roughly four chunks per
-        worker (and never more than the number of pending points), which
-        amortizes pickling without starving the pool.
+        Process-backend submission chunk size; defaults to roughly four
+        chunks per worker (and never more than the number of pending
+        points), which amortizes worker start-up without starving the pool.
+        The in-process backends submit per point and ignore it.
     progress:
         Optional ``(done, total, label)`` hook invoked as distinct
         configurations complete (see :data:`ProgressHook`).
     stats:
         Optional :class:`RunStats` instance filled in place with what the
         call did (useful alongside the returned results).
+    backend:
+        ``"serial"``, ``"threads"``, ``"processes"``, or ``"auto"`` (see
+        :func:`repro.parallel.resolve_backend`).  ``auto`` picks ``threads``
+        for ``workers > 1`` — the estimation kernels release the GIL inside
+        NumPy — and collapses to ``serial`` otherwise; set
+        ``REPRO_PARALLEL_BACKEND`` to steer ``auto`` globally.  Results are
+        bit-for-bit identical whatever the choice.
     """
     config_list = list(configs)
     if workers < 1:
@@ -167,6 +205,7 @@ def run_configs(
         raise ExperimentError(
             f"chunksize must be >= 1 (or None for the automatic choice), got {chunksize}"
         )
+    backend_name = resolve_backend(backend, workers=workers)
     stats = stats if stats is not None else RunStats()
     # Reset every counter: a reused RunStats instance must describe this
     # call only, not accumulate across calls.
@@ -175,6 +214,7 @@ def run_configs(
     stats.cache_hits = 0
     stats.executed = 0
     stats.duration_s = 0.0
+    stats.backend = "serial"
     started = time.perf_counter()
 
     resolved = resolve_cache(cache)
@@ -223,10 +263,10 @@ def run_configs(
     def _consume(computed: Iterable[ExperimentResult], span: int = 1) -> None:
         """Fold computed results into ``results``; on failure, re-raise with
         the failing config's label attached.  Results arrive in submission
-        order, but a pool chunk fails as a unit (the worker loses the
-        results of the chunk's earlier points too), so with ``span > 1``
-        the raising point is only known to lie in the next ``span``
-        not-yet-consumed points — name them all."""
+        order, but a process-pool chunk fails as a unit (the worker loses
+        the results of the chunk's earlier points too), so with ``span > 1``
+        the raising point is only known to lie somewhere in its chunk —
+        name the chunk's points, and only those (see :func:`_chunk_group`)."""
         iterator = iter(computed)
         for position, (key, indices) in enumerate(pending):
             try:
@@ -236,7 +276,7 @@ def run_configs(
                     "executor returned fewer results than submitted configs"
                 ) from None
             except Exception as exc:
-                group = pending[position : position + span]
+                group = _chunk_group(pending, position, span)
                 labels = [
                     config_list[group_indices[0]].describe()["label"]
                     for _, group_indices in group
@@ -256,11 +296,11 @@ def run_configs(
     if pending:
         pending_configs = [config_list[indices[0]] for _, indices in pending]
         if workers == 1 or len(pending_configs) == 1:
-            _consume(
-                _run_uncached(config, activity_cache=resolved_activity)
-                for config in pending_configs
-            )
-        else:
+            # A pool cannot help a single point, and workers=1 means "run
+            # inline" whatever the backend — both collapse to serial.
+            backend_name = "serial"
+        stats.backend = backend_name
+        if backend_name == "processes":
             if chunksize is None:
                 chunksize = max(1, len(pending_configs) // (workers * 4))
             chunksize = min(chunksize, len(pending_configs))
@@ -274,17 +314,33 @@ def run_configs(
                 if activity_cache is None
                 else _run_uncached
             )
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                try:
-                    _consume(
-                        pool.map(worker, pending_configs, chunksize=chunksize),
-                        span=chunksize,
-                    )
-                except BaseException:
-                    # Don't let queued sweep points keep computing (or leak
-                    # worker processes) after one point has already failed.
-                    pool.shutdown(cancel_futures=True)
-                    raise
+            # Resolve the engine's calibrated chunk budget once in the
+            # parent and seed every pool worker with it at start-up, so
+            # workers never race to probe the same cache hierarchy they are
+            # measuring — whatever the start method (spawn workers inherit
+            # neither the parent's memo nor, without REPRO_CACHE_DIR, a
+            # persisted calibration file).
+            executor = get_executor(
+                "processes",
+                workers,
+                chunksize=chunksize,
+                initializer=seed_probed_budget,
+                initargs=(chunk_budget_bytes(),),
+            )
+        else:
+            # serial and threads run in-process: explicit activity-cache
+            # instances are honoured directly (threads share the parent's
+            # memory, so warm entries flow both ways).
+            worker = partial(_run_uncached, activity_cache=resolved_activity)
+            executor = get_executor(backend_name, workers)
+        try:
+            _consume(executor.map(worker, pending_configs), span=executor.chunk_span)
+        except BaseException:
+            # Don't let queued sweep points keep computing (or leak worker
+            # processes / shared-memory segments) after one point failed.
+            executor.shutdown(cancel=True)
+            raise
+        executor.shutdown()
 
     stats.duration_s = time.perf_counter() - started
     return [result for result in results if result is not None]
@@ -301,6 +357,7 @@ def run_sweep(
     activity_cache: "object | None" = DEFAULT_CACHE,
     progress: ProgressHook | None = None,
     stats: RunStats | None = None,
+    backend: str = "auto",
 ) -> SweepResult:
     """Run a one-parameter sweep and collect it into a :class:`SweepResult`."""
     configs = sweep_configs(base, parameter, values, target=target)
@@ -311,6 +368,7 @@ def run_sweep(
         activity_cache=activity_cache,
         progress=progress,
         stats=stats,
+        backend=backend,
     )
     return SweepResult(
         parameter=parameter,

@@ -1,0 +1,288 @@
+"""Pluggable sweep execution backends behind one ``Executor`` interface.
+
+Three backends run the embarrassingly parallel part of a sweep:
+
+``serial``
+    Plain in-process iteration.  No pools, no pickling; the reference
+    backend every other one must match bit for bit.
+
+``threads``
+    A :class:`~concurrent.futures.ThreadPoolExecutor`.  The sweep's hot
+    path — bit-level switching-activity estimation — spends its time inside
+    NumPy ufuncs (XOR, ``bitwise_count``, reductions, casts) which release
+    the GIL for the duration of the loop (see the "released-GIL kernels"
+    notes in :mod:`repro.util.bits` and :mod:`repro.activity.toggles`), so
+    threads scale near-linearly on estimation-bound workloads while sharing
+    the parent's caches directly: no pickling out, no result transfer back,
+    and explicit in-memory cache *instances* keep working.
+
+``processes``
+    A :class:`~concurrent.futures.ProcessPoolExecutor`, kept for workloads
+    that hold the GIL (e.g. Python-loop-heavy pattern generators).  Results
+    return through :mod:`multiprocessing.shared_memory` segments instead of
+    the executor's pickle pipe (with a transparent pickle fallback), and
+    work is submitted in chunks to amortize process start-up.
+
+Every backend yields results in submission order and propagates the first
+failure; ``shutdown(cancel=True)`` stops queued work and releases backend
+resources (including unconsumed shared-memory segments).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.errors import ExperimentError
+from repro.parallel import shm
+
+__all__ = [
+    "BACKENDS",
+    "ENV_BACKEND",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "choose_backend",
+    "resolve_backend",
+    "get_executor",
+]
+
+#: The selectable backends, in the order the docs present them.
+BACKENDS = ("serial", "threads", "processes")
+
+#: Environment override consulted by ``backend="auto"`` (never by an
+#: explicit backend choice).
+ENV_BACKEND = "REPRO_PARALLEL_BACKEND"
+
+
+class Executor(abc.ABC):
+    """Minimal executor protocol the sweep runner drives.
+
+    Implementations yield results from :meth:`map` in submission order and
+    let the first worker exception propagate to the consumer.
+    ``chunk_span`` tells the consumer how many submitted items fail as a
+    unit (1 for per-item submission, the chunk size for chunked pools).
+    """
+
+    name: str = "abstract"
+    chunk_span: int = 1
+
+    @abc.abstractmethod
+    def map(self, fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> Iterator[Any]:
+        """Apply ``fn`` to every item, yielding results in order."""
+
+    def shutdown(self, cancel: bool = False) -> None:
+        """Release backend resources; ``cancel`` drops queued work."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # A failing sweep cancels what it can; a clean exit just waits.
+        self.shutdown(cancel=exc_type is not None)
+
+
+class SerialExecutor(Executor):
+    """In-process reference backend: a lazy map, nothing more."""
+
+    name = "serial"
+
+    def map(self, fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> Iterator[Any]:
+        return (fn(item) for item in items)
+
+
+class ThreadExecutor(Executor):
+    """Thread pool for estimation-bound (GIL-releasing) workloads."""
+
+    name = "threads"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-sweep"
+        )
+
+    def map(self, fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> Iterator[Any]:
+        futures = [self._pool.submit(fn, item) for item in items]
+
+        def _results() -> Iterator[Any]:
+            for future in futures:
+                yield future.result()
+
+        return _results()
+
+    def shutdown(self, cancel: bool = False) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=cancel)
+
+
+def _run_chunk(
+    fn: "Callable[[Any], Any]",
+    encode: "Callable[[Sequence[Any]], bytes]",
+    items: "Sequence[Any]",
+) -> "shm.ShmHandle | shm.InlineChunk":
+    """Worker-side entry point: run one chunk, publish its results."""
+    return shm.share_chunk([fn(item) for item in items], encode)
+
+
+class ProcessExecutor(Executor):
+    """Process pool with shared-memory result transfer.
+
+    Work is submitted in chunks of ``chunksize`` items; each worker runs its
+    chunk, serializes the results once (the JSON representation the disk
+    cache round-trips bit for bit) into a fresh shared-memory segment and
+    returns only the segment's name.  The parent decodes and unlinks each
+    segment as it consumes the result stream.  ``transfer`` selects the
+    return path: ``"shm"``, ``"pickle"``, or ``"auto"`` (shm when the
+    platform supports it and ``REPRO_SHM`` does not disable it).
+    """
+
+    name = "processes"
+
+    def __init__(
+        self,
+        workers: int,
+        chunksize: int = 1,
+        transfer: str = "auto",
+        encode: "Callable[[Sequence[Any]], bytes]" = shm.encode_experiment_results,
+        decode: "Callable[[bytes], list[Any]]" = shm.decode_experiment_results,
+        initializer: "Callable[..., None] | None" = None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {workers}")
+        if chunksize < 1:
+            raise ExperimentError(f"chunksize must be >= 1, got {chunksize}")
+        if transfer not in ("auto", "shm", "pickle"):
+            raise ExperimentError(
+                f"transfer must be 'auto', 'shm' or 'pickle', got {transfer!r}"
+            )
+        self.chunksize = chunksize
+        self.chunk_span = chunksize
+        self._encode = encode
+        self._decode = decode
+        self._use_shm = transfer == "shm" or (transfer == "auto" and shm.shm_available())
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
+        self._futures: "list[Future]" = []
+        self._consumed = 0
+
+    def map(self, fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> Iterator[Any]:
+        items = list(items)
+        chunks = [
+            items[start : start + self.chunksize]
+            for start in range(0, len(items), self.chunksize)
+        ]
+        if self._use_shm:
+            self._futures = [
+                self._pool.submit(_run_chunk, fn, self._encode, chunk)
+                for chunk in chunks
+            ]
+        else:
+            self._futures = [
+                self._pool.submit(_run_pickled_chunk, fn, chunk) for chunk in chunks
+            ]
+
+        def _results() -> Iterator[Any]:
+            for index, future in enumerate(self._futures):
+                handle = future.result()
+                self._consumed = index + 1
+                yield from shm.receive_chunk(handle, self._decode)
+
+        return _results()
+
+    def shutdown(self, cancel: bool = False) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=cancel)
+        # Any chunk that completed without being consumed still owns a
+        # shared-memory segment nobody will decode; free them whether this
+        # is a cancellation (sweep failure) or a clean exit with the result
+        # iterator abandoned early, so neither path can leak /dev/shm
+        # space.  (Cancelled or failed futures never created a segment: the
+        # worker either published or raised.)
+        for future in self._futures[self._consumed :]:
+            if future.done() and not future.cancelled() and future.exception() is None:
+                shm.discard_chunk(future.result())
+        self._futures = []
+        self._consumed = 0
+
+
+def _run_pickled_chunk(fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> "shm.InlineChunk":
+    """Worker-side entry point for the forced-pickle transfer mode."""
+    return shm.InlineChunk(values=tuple(fn(item) for item in items))
+
+
+def choose_backend(workload: str = "estimation") -> str:
+    """Per-workload default backend.
+
+    ``"estimation"`` workloads (switching-activity sweeps — the common
+    case) are NumPy-bound with released-GIL kernels, so threads win: no
+    pickling, shared caches, near-linear scaling.  ``"generation"``
+    workloads dominated by GIL-holding Python (custom pattern generators,
+    pure-Python feature extraction) need real processes.
+    """
+    if workload not in ("estimation", "generation"):
+        raise ExperimentError(
+            f"workload must be 'estimation' or 'generation', got {workload!r}"
+        )
+    return "threads" if workload == "estimation" else "processes"
+
+
+def resolve_backend(
+    backend: str = "auto", workers: int = 1, workload: str = "estimation"
+) -> str:
+    """Resolve a ``backend=`` argument to a concrete backend name.
+
+    ``"auto"`` picks per workload (see :func:`choose_backend`), collapses to
+    ``"serial"`` when ``workers == 1`` (no pool can help), and honours the
+    ``REPRO_PARALLEL_BACKEND`` environment override.  Explicit names are
+    validated and returned unchanged.
+    """
+    if backend != "auto":
+        if backend not in BACKENDS:
+            raise ExperimentError(
+                f"backend must be one of {BACKENDS + ('auto',)}, got {backend!r}"
+            )
+        return backend
+    override = os.environ.get(ENV_BACKEND, "").strip().lower()
+    if override:
+        if override not in BACKENDS:
+            raise ExperimentError(
+                f"{ENV_BACKEND} must be one of {BACKENDS}, got {override!r}"
+            )
+        return override
+    if workers <= 1:
+        return "serial"
+    return choose_backend(workload)
+
+
+def get_executor(
+    backend: str,
+    workers: int = 1,
+    chunksize: int = 1,
+    transfer: str = "auto",
+    initializer: "Callable[..., None] | None" = None,
+    initargs: tuple = (),
+) -> Executor:
+    """Build the executor for a resolved backend name.
+
+    ``initializer``/``initargs`` run once per process-pool worker at
+    start-up (ignored by the in-process backends, which share the parent's
+    state already).
+    """
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "threads":
+        return ThreadExecutor(workers)
+    if backend == "processes":
+        return ProcessExecutor(
+            workers,
+            chunksize=chunksize,
+            transfer=transfer,
+            initializer=initializer,
+            initargs=initargs,
+        )
+    raise ExperimentError(f"backend must be one of {BACKENDS}, got {backend!r}")

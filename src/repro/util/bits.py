@@ -8,6 +8,20 @@ module only counts bits.
 The implementations follow the HPC guidance for this project: no Python
 loops over elements, byte-table popcount, and explicit contiguity so views
 never silently copy in hot paths.
+
+.. rubric:: Released-GIL (nogil) sections
+
+Every hot kernel here bottoms out in NumPy ufunc/reduction loops —
+``bitwise_xor``, ``bitwise_count`` (or the byte-table fancy-index gather on
+older NumPy), ``sum`` reductions — all of which drop the GIL for the
+duration of their C inner loop (NumPy's ``NPY_BEGIN_THREADS`` around ufunc
+and reduction execution).  Python-level work per call is a handful of shape
+checks and view constructions, so concurrent calls from a thread pool run
+effectively in parallel; this is what makes the sweep runner's ``threads``
+backend scale near-linearly on estimation-bound workloads
+(``benchmarks/bench_engine_performance.py::bench_nogil_kernel_threads``
+measures it).  The kernels share no mutable module state — the only global,
+:data:`POPCOUNT_TABLE`, is read-only — so no locking is needed.
 """
 
 from __future__ import annotations

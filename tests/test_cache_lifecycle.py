@@ -594,3 +594,157 @@ class TestSweepRobustness:
         for bad in (0, -3):
             with pytest.raises(ExperimentError, match="chunksize"):
                 run_configs([quiet_config()], chunksize=bad, cache=None)
+
+
+class TestCostWeightedPrune:
+    """Size pruning weights eviction order by recomputation cost: activity
+    entries (cheap to rebuild) go before experiment entries (~100x dearer),
+    unless age differences overwhelm the weight ratio."""
+
+    def _two_tier_dir(self, tmp_path, experiment_age_s, activity_age_s, size=100):
+        from repro.cache.lifecycle import tier_dir
+
+        now = 1_000_000_000
+        for tier, age in (("experiment", experiment_age_s), ("activity", activity_age_s)):
+            directory = tier_dir(tmp_path, tier)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / f"{tier}0.json"
+            path.write_text(json.dumps({"pad": "x" * size}))
+            os.utime(path, (now - age, now - age))
+        return now
+
+    def test_older_experiment_outlives_newer_activity(self, tmp_path):
+        # Experiment entry is 24x older; the 100x default weight still
+        # makes the one-hour-old activity entry the first eviction.
+        now = self._two_tier_dir(tmp_path, experiment_age_s=86_400, activity_age_s=3_600)
+        entries = scan_cache_dir(tmp_path)
+        keep_one = max(entry.size_bytes for entry in entries)
+        report = prune_cache_dir(tmp_path, max_bytes=keep_one, now=now)
+        assert [entry.tier for entry in report.removed] == ["activity"]
+        assert {entry.tier for entry in scan_cache_dir(tmp_path)} == {"experiment"}
+
+    def test_weight_ratio_can_be_overcome_by_age(self, tmp_path):
+        # 200x the age difference beats the 100x weight: the ancient
+        # experiment entry goes first.
+        now = self._two_tier_dir(
+            tmp_path, experiment_age_s=720_000, activity_age_s=3_600
+        )
+        entries = scan_cache_dir(tmp_path)
+        keep_one = max(entry.size_bytes for entry in entries)
+        report = prune_cache_dir(tmp_path, max_bytes=keep_one, now=now)
+        assert [entry.tier for entry in report.removed] == ["experiment"]
+
+    def test_explicit_cost_weights_override(self, tmp_path):
+        now = self._two_tier_dir(tmp_path, experiment_age_s=7_200, activity_age_s=3_600)
+        entries = scan_cache_dir(tmp_path)
+        keep_one = max(entry.size_bytes for entry in entries)
+        report = prune_cache_dir(
+            tmp_path,
+            max_bytes=keep_one,
+            now=now,
+            cost_weights={"experiment": 1.0, "activity": 1.0},
+        )
+        # Unweighted, plain mtime-LRU: the older experiment entry goes.
+        assert [entry.tier for entry in report.removed] == ["experiment"]
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        from repro.cache.lifecycle import resolve_cost_weights
+
+        monkeypatch.setenv("REPRO_CACHE_EXPERIMENT_COST", "250")
+        assert resolve_cost_weights()["experiment"] == 250.0
+        monkeypatch.setenv("REPRO_CACHE_EXPERIMENT_COST", "lots")
+        with pytest.raises(ExperimentError):
+            resolve_cost_weights()
+
+    def test_invalid_weights_rejected(self):
+        from repro.cache.lifecycle import resolve_cost_weights
+
+        with pytest.raises(ExperimentError):
+            resolve_cost_weights({"experiment": 0.0})
+        with pytest.raises(ExperimentError):
+            resolve_cost_weights({"unknown-tier": 2.0})
+
+    def test_age_prune_ignores_cost(self, tmp_path):
+        # Staleness is absolute: max_age_s removes the old experiment entry
+        # even though its tier is 100x more expensive to rebuild.
+        now = self._two_tier_dir(tmp_path, experiment_age_s=86_400, activity_age_s=60)
+        report = prune_cache_dir(tmp_path, max_age_s=3_600, now=now)
+        assert [entry.tier for entry in report.removed] == ["experiment"]
+
+    def test_cli_experiment_cost_flag(self, tmp_path, capsys):
+        now_unused = self._two_tier_dir(
+            tmp_path, experiment_age_s=7_200, activity_age_s=3_600
+        )
+        del now_unused
+        entries = scan_cache_dir(tmp_path)
+        keep_one = max(entry.size_bytes for entry in entries)
+        assert (
+            cache_cli(
+                [
+                    "prune",
+                    "--dir",
+                    str(tmp_path),
+                    "--max-bytes",
+                    str(keep_one),
+                    "--experiment-cost",
+                    "1",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert report["removed"] == 1
+        # With the weight flattened to 1, mtime order wins: experiment went.
+        assert {entry.tier for entry in scan_cache_dir(tmp_path)} == {"activity"}
+
+
+class TestLiveCliStats:
+    def test_stats_include_live_memory_counters(
+        self, tmp_path, quiet_config, capsys, monkeypatch, reset_default_caches
+    ):
+        store = reset_default_caches
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_NO_CACHE", raising=False)
+        config = quiet_config()
+        run_experiment(config)  # miss + put through the process defaults
+        run_experiment(config)  # hit
+        assert cache_cli(["stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "memory" in stats
+        experiment = stats["memory"]["experiment"]
+        assert experiment["entries"] == 1
+        assert experiment["hits"] == 1
+        assert experiment["puts"] == 1
+        assert 0.0 < experiment["hit_rate"] <= 1.0
+        assert stats["memory"]["activity"]["puts"] >= 1
+        # The live section reflects the same instances the process holds.
+        assert store.peek_default_caches()["experiment"].stats.hits == 1
+
+        assert cache_cli(["stats"]) == 0
+        out = capsys.readouterr().out
+        assert "[live] experiment" in out and "hit rate" in out
+
+    def test_stats_omit_memory_without_live_caches(
+        self, tmp_path, quiet_config, capsys, reset_default_caches
+    ):
+        # Fresh default-cache state, nothing instantiated: a plain stats
+        # call reports disk only, exactly like a subprocess invocation.
+        config = quiet_config()
+        experiment_cache = ExperimentCache(disk_dir=tmp_path)
+        activity_cache = ActivityCache(disk_dir=tmp_path / "activity")
+        run_experiment(config, cache=experiment_cache, activity_cache=activity_cache)
+        assert cache_cli(["stats", "--dir", str(tmp_path), "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "memory" not in stats
+
+    def test_describe_memory_shape(self):
+        cache = ActivityCache(max_entries=4)
+        cache.put("k", _make_report())
+        cache.get("k")
+        cache.get("missing")
+        info = cache.describe_memory()
+        assert info["entries"] == 1
+        assert info["max_entries"] == 4
+        assert info["hits"] == 1 and info["misses"] == 1 and info["puts"] == 1
+        assert info["disk_dir"] is None
