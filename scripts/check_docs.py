@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Documentation consistency checks (stdlib only; run by CI's docs job).
+
+Two checks, either of which fails the build:
+
+1. **Link resolution** — every intra-repo Markdown link in ``README.md``
+   and ``docs/**/*.md`` must point at a file or directory that exists.
+   External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+   (``#...``) are ignored; a link's ``#fragment`` suffix is stripped
+   before the filesystem check.
+
+2. **Environment-variable sync** — ``docs/configuration.md`` claims to be
+   the authoritative table of every ``REPRO_*`` knob.  This check greps
+   ``src/**/*.py`` and ``benchmarks/**/*.py`` for ``REPRO_[A-Z_]+`` names
+   and fails if any is missing from the configuration page (undocumented
+   knob) or documented there without appearing in the code (stale doc).
+
+Usage::
+
+    python scripts/check_docs.py [--root REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+#: Markdown inline link: ``[text](target)``.  Targets with spaces are not
+#: used in this repo, which keeps the pattern simple.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Environment-variable names (digits allowed, e.g. a hypothetical
+#: ``REPRO_TIER2_CACHE``); the trailing guard strips regex/prose artifacts
+#: like a dangling underscore.
+ENV_RE = re.compile(r"REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9]")
+
+#: Markdown files whose links are checked.
+LINKED_DOCS = ("README.md", "docs")
+
+#: Where env vars must be documented.
+CONFIG_DOC = Path("docs") / "configuration.md"
+
+#: Code trees whose REPRO_* references must be documented.
+CODE_TREES = ("src", "benchmarks")
+
+
+def _markdown_files(root: Path) -> list[Path]:
+    files: list[Path] = []
+    for entry in LINKED_DOCS:
+        path = root / entry
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+    return files
+
+
+def check_links(root: Path) -> list[str]:
+    problems: list[str] = []
+    for md_file in _markdown_files(root):
+        text = md_file.read_text(encoding="utf-8")
+        for target in LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            resolved = (md_file.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{md_file.relative_to(root)}: broken link -> {target}"
+                )
+    return problems
+
+
+def check_env_sync(root: Path) -> list[str]:
+    problems: list[str] = []
+    config_doc = root / CONFIG_DOC
+    if not config_doc.is_file():
+        return [f"missing {CONFIG_DOC} (the authoritative env-var reference)"]
+    documented = set(ENV_RE.findall(config_doc.read_text(encoding="utf-8")))
+
+    in_code: set[str] = set()
+    for tree in CODE_TREES:
+        for py_file in sorted((root / tree).rglob("*.py")):
+            in_code |= set(ENV_RE.findall(py_file.read_text(encoding="utf-8")))
+
+    for name in sorted(in_code - documented):
+        problems.append(
+            f"undocumented environment variable: {name} "
+            f"(used in code, absent from {CONFIG_DOC})"
+        )
+    for name in sorted(documented - in_code):
+        problems.append(
+            f"stale documentation: {name} is listed in {CONFIG_DOC} "
+            "but appears nowhere under " + " or ".join(CODE_TREES)
+        )
+    return problems
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent,
+        help="repository root (default: the checkout containing this script)",
+    )
+    args = parser.parse_args(argv)
+    root = args.root.resolve()
+
+    problems = check_links(root) + check_env_sync(root)
+    for problem in problems:
+        print(f"error: {problem}", file=sys.stderr)
+    if problems:
+        print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
+        return 1
+    md_count = len(_markdown_files(root))
+    print(f"docs OK: {md_count} markdown files checked, env-var table in sync")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -35,15 +35,19 @@ from repro.cache import (
     ExperimentCache,
     activity_fingerprint,
     experiment_fingerprint,
+    plan_fingerprint,
 )
 from repro.dtypes import PAPER_DTYPES, get_dtype, list_dtypes
 from repro.errors import ReproError
 from repro.experiments import (
     ExperimentConfig,
+    ExperimentPlan,
     ExperimentResult,
     FigureResult,
+    PlanCache,
     RunStats,
     SweepResult,
+    build_plan,
     run_configs,
     run_experiment,
     run_sweep,
@@ -65,9 +69,11 @@ __all__ = [
     "estimate_activity_batch",
     "ExperimentCache",
     "ActivityCache",
+    "PlanCache",
     "CacheStats",
     "experiment_fingerprint",
     "activity_fingerprint",
+    "plan_fingerprint",
     "get_dtype",
     "list_dtypes",
     "PAPER_DTYPES",
@@ -84,6 +90,8 @@ __all__ = [
     "RuntimeModel",
     "PowerTrace",
     "ExperimentConfig",
+    "ExperimentPlan",
+    "build_plan",
     "ExperimentResult",
     "SweepResult",
     "FigureResult",

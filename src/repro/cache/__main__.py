@@ -7,7 +7,9 @@ Subcommands operate on a cache root directory (``--dir`` or the
 * ``stats`` — entry counts, byte totals and age range per tier.  When
   :func:`main` is invoked from a process that already holds default cache
   instances (rather than via a fresh subprocess), the report also includes
-  each live cache's in-memory LRU occupancy and hit/miss counters.
+  each live cache's in-memory LRU occupancy and hit/miss counters —
+  including the memory-only plan tier (:mod:`repro.experiments.plan`)
+  when the process has created one.
 * ``ls``    — list entries (key, tier, size, age), oldest first.
 * ``prune`` — garbage-collect by total size and/or age.  Size pruning
   evicts by cost-weighted age (cheap-to-rebuild activity entries first; see

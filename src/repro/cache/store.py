@@ -20,11 +20,33 @@ Two cache classes share that machinery:
   bit-level estimate, reusable across every experiment that shares the
   workload (GPU model, clocks and telemetry knobs do not matter).
 
-Values are defensively deep-copied on both ``put`` and ``get`` so callers
-can mutate results (e.g. re-stamp labels) without corrupting the store.
-Disk writes go through a temp file and :func:`os.replace`, so two processes
-sharing a cache directory can never observe a torn entry; unreadable
-entries are treated as misses and deleted.
+(A third, memory-only tier — the plan cache of
+:mod:`repro.experiments.plan` — lives outside this module because it holds
+live objects rather than JSON documents, but it follows the same
+fingerprint discipline and appears alongside these tiers in the CLI's live
+stats.)
+
+Cache-tier invariants
+---------------------
+
+Every tier upholds four invariants, in roughly priority order:
+
+1. **Correct-by-key** — a key is a SHA-256 digest over *everything* that
+   determines the value, including resolved dtype/GPU specs and the code
+   version; two configs with equal fingerprints are guaranteed bit-identical
+   results, so a hit can never change what a caller computes, only when.
+2. **Isolation** — values are defensively deep-copied on both ``put`` and
+   ``get``, so callers can mutate results (e.g. re-stamp labels) without
+   corrupting the store or each other.
+3. **Crash/concurrency safety** — disk writes go through a uniquely named
+   temp file and :func:`os.replace`, so processes sharing a cache directory
+   can never observe a torn entry; unreadable or incompatible entries are
+   treated as misses and deleted.  In-memory LRU bookkeeping is guarded by
+   a re-entrant lock (the ``threads`` backend hits one instance from many
+   workers), while copies and disk I/O run outside it.
+4. **Boundedness** — the in-memory tier is a strict LRU of ``max_entries``;
+   the disk tier is pruned by size/age lifecycle GC
+   (:mod:`repro.cache.lifecycle`), never trusted to grow without limit.
 
 Process-wide default instances back :func:`repro.run_experiment`, the sweep
 runner and the activity engine; they are created lazily, bounded, and
@@ -452,17 +474,27 @@ def resolve_activity_cache(cache: "ActivityCache | None | object") -> ActivityCa
     )
 
 
-def peek_default_caches() -> "dict[str, JsonDiskCache]":
+def peek_default_caches() -> "dict[str, Any]":
     """The default cache instances this process has *already* created.
 
     Unlike the ``get_default_*`` accessors this never instantiates anything:
     it is how the ``python -m repro.cache stats`` CLI reports live in-memory
     counters when invoked from a running process, without a fresh subprocess
-    invocation fabricating empty caches just to describe them.
+    invocation fabricating empty caches just to describe them.  The
+    memory-only plan tier (:mod:`repro.experiments.plan`) is included under
+    ``"plan"`` when that module has been imported and its default created;
+    every value answers ``describe_memory()``.
     """
-    live: dict[str, JsonDiskCache] = {}
+    import sys
+
+    live: dict[str, Any] = {}
     if _default_initialized and _default_cache is not None:
         live["experiment"] = _default_cache
     if _default_activity_initialized and _default_activity_cache is not None:
         live["activity"] = _default_activity_cache
+    # Looked up through sys.modules (not imported) so peeking can neither
+    # trigger the experiments package import nor create the plan tier.
+    plan_module = sys.modules.get("repro.experiments.plan")
+    if plan_module is not None:
+        live.update(plan_module.peek_default_plan_cache())
     return live

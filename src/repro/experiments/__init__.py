@@ -8,12 +8,16 @@ A and B drawn from the same pattern but different seeds.
 
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.harness import ExperimentRunner, run_experiment
+from repro.experiments.plan import ExperimentPlan, PlanCache, build_plan
 from repro.experiments.results import ExperimentResult, FigureResult, SeedMeasurement, SweepResult
 from repro.experiments.sweep import RunStats, run_configs, run_sweep
 
 __all__ = [
     "ExperimentConfig",
     "ExperimentRunner",
+    "ExperimentPlan",
+    "PlanCache",
+    "build_plan",
     "run_experiment",
     "ExperimentResult",
     "SeedMeasurement",

@@ -2,11 +2,14 @@
 
 Reproduces the paper's measurement loop for one configuration:
 
-1. For each seed, generate A and B from the configured pattern (same
-   pattern, different seeds; B stored transposed unless disabled).
-2. Plan the CUTLASS-style kernel launch and estimate switching activity —
-   all seeds of the configuration share one pattern/launch/monitor build and
-   go through the batched activity engine in a single call.
+1. Resolve the configuration's :class:`~repro.experiments.plan.
+   ExperimentPlan` — device, pattern, CUTLASS-style launch plan and
+   telemetry monitor — from the plan cache, building it only when no
+   physically identical configuration has planned before.
+2. For each seed, generate A and B from the plan's pattern (same pattern,
+   different seeds; B stored transposed unless disabled) and estimate
+   switching activity — all seeds go through the batched activity engine
+   in a single call.
 3. Run the power model (with TDP throttling) and the runtime model.
 4. Simulate the DCGM 100 ms power trace for the full iteration loop, trim
    the first 500 ms of samples, and average the rest.
@@ -32,12 +35,16 @@ from repro.cache.fingerprint import activity_fingerprint, experiment_fingerprint
 from repro.cache.store import DEFAULT_CACHE, resolve_cache
 from repro.dtypes.registry import get_dtype
 from repro.experiments.config import ExperimentConfig
+from repro.experiments.plan import (
+    ExperimentPlan,
+    build_plan,
+    build_problem,
+    build_workload_pattern,
+)
 from repro.experiments.results import ExperimentResult, SeedMeasurement
-from repro.gpu.device import Device
 from repro.kernels.gemm import GemmOperands, GemmProblem
 from repro.kernels.launch import KernelLaunch, plan_launch
 from repro.patterns.base import Pattern
-from repro.patterns.library import build_pattern
 from repro.power.energy import EnergyEstimate
 from repro.power.model import PowerModel
 from repro.runtime.model import RuntimeModel
@@ -56,11 +63,16 @@ MIN_MEASUREMENT_DURATION_S = 3.0
 class ExperimentRunner:
     """Runs one :class:`~repro.experiments.config.ExperimentConfig`.
 
-    Each runner builds its own device, power/runtime models and activity
-    engine, and shares nothing mutable with other runners except the
-    (thread-safe) caches — so the sweep runner may drive many of them
-    concurrently from its ``threads`` backend.  The expensive part of a run
-    is switching-activity estimation, whose kernels release the GIL inside
+    Each runner resolves its configuration's
+    :class:`~repro.experiments.plan.ExperimentPlan` (device, pattern,
+    launch plan, monitor) from the plan cache — so physically identical
+    configurations plan once per process, not once per runner — and builds
+    its own power/runtime models and activity engine on top.  Runners
+    share nothing *mutable* with each other except the thread-safe caches
+    (plans are immutable and stateless, see :mod:`repro.experiments.plan`),
+    so the sweep runner may drive many of them concurrently from its
+    ``threads`` backend.  The expensive part of a run is
+    switching-activity estimation, whose kernels release the GIL inside
     NumPy (see :mod:`repro.util.bits`), which is what makes those threads
     scale.
     """
@@ -69,9 +81,11 @@ class ExperimentRunner:
         self,
         config: ExperimentConfig,
         activity_cache: "object | None" = DEFAULT_CACHE,
+        plan_cache: "object | None" = DEFAULT_CACHE,
     ) -> None:
         self.config = config
-        self.device = Device.create(config.gpu, instance_id=config.instance_id)
+        self.plan: ExperimentPlan = build_plan(config, cache=plan_cache)
+        self.device = self.plan.device
         self.power_model = PowerModel(self.device)
         self.runtime_model = RuntimeModel()
         self.activity_engine = ActivityEngine(
@@ -83,21 +97,22 @@ class ExperimentRunner:
     def run(self) -> ExperimentResult:
         """Run all seeds of the configuration through the batched pipeline.
 
-        Problem, pattern, launch plan and telemetry monitor are built once
-        and shared by every seed; switching activity for the whole seed
-        batch goes through the :class:`ActivityEngine` in one call.  Each
-        seed is keyed by :func:`~repro.cache.fingerprint.activity_fingerprint`
-        and operands are passed as factories, so seeds already in the
-        activity cache (e.g. the same workload measured on another GPU)
-        skip operand generation and estimation entirely.  The per-seed
-        measurements are bit-for-bit identical to running each seed
-        independently without any cache.
+        Problem, pattern, launch plan and telemetry monitor come from the
+        runner's (possibly cache-shared) :class:`ExperimentPlan` and are
+        shared by every seed; switching activity for the whole seed batch
+        goes through the :class:`ActivityEngine` in one call.  Each seed is
+        keyed by :func:`~repro.cache.fingerprint.activity_fingerprint` and
+        operands are passed as factories, so seeds already in the activity
+        cache (e.g. the same workload measured on another GPU) skip operand
+        generation and estimation entirely.  The per-seed measurements are
+        bit-for-bit identical to running each seed independently without
+        any cache.
         """
         config = self.config
-        problem = self._build_problem()
-        pattern = self._build_pattern()
-        launch = plan_launch(problem, self.device)
-        monitor = DcgmMonitor(self.device, config=config.telemetry)
+        problem = self.plan.problem
+        pattern = self.plan.pattern
+        launch = self.plan.launch
+        monitor = self.plan.monitor
 
         # The engine materializes operand factories chunk by chunk (matching
         # its own stacking granularity) so peak memory is one chunk of seeds,
@@ -129,24 +144,12 @@ class ExperimentRunner:
 
     # ------------------------------------------------------------- internals
 
-    def _build_problem(self) -> GemmProblem:
-        size = self.config.matrix_size
-        return GemmProblem.square(
-            size, dtype=self.config.dtype, transpose_b=self.config.transpose_b
-        )
-
-    def _build_pattern(self) -> Pattern:
-        spec = get_dtype(self.config.dtype)
-        return build_pattern(
-            self.config.pattern_family, spec, **dict(self.config.pattern_params)
-        )
-
     def _generate_operands(
         self, problem: GemmProblem, seed_index: int, pattern: Pattern | None = None
     ) -> GemmOperands:
         spec = get_dtype(self.config.dtype)
         if pattern is None:
-            pattern = self._build_pattern()
+            pattern = build_workload_pattern(self.config)
         rng_a = derive_rng(self.config.base_seed, "A", seed_index)
         rng_b = derive_rng(self.config.base_seed, "B", seed_index)
         a = pattern.generate(problem.a_shape, spec, rng_a)
@@ -154,9 +157,14 @@ class ExperimentRunner:
         return GemmOperands(problem=problem, a=a, b_stored=b_stored)
 
     def _run_seed(self, seed_index: int) -> SeedMeasurement:
-        """Run a single seed end to end (the unbatched reference path)."""
+        """Run a single seed end to end (the unbatched reference path).
+
+        Deliberately bypasses the plan: problem, launch and monitor are
+        rebuilt from scratch so this path stays an independent reference
+        for the plan-sharing equivalence tests.
+        """
         config = self.config
-        problem = self._build_problem()
+        problem = build_problem(config)
         operands = self._generate_operands(problem, seed_index)
         launch = plan_launch(problem, self.device)
         activity = estimate_activity(operands, sampling=config.sampling, seed=seed_index)
@@ -214,6 +222,7 @@ def run_experiment(
     config: ExperimentConfig,
     cache: "object | None" = DEFAULT_CACHE,
     activity_cache: "object | None" = DEFAULT_CACHE,
+    plan_cache: "object | None" = DEFAULT_CACHE,
 ) -> ExperimentResult:
     """Run a configuration, consulting the content-addressed result caches.
 
@@ -225,16 +234,24 @@ def run_experiment(
     :class:`~repro.cache.store.ActivityCache`) feeds the per-seed activity
     tier beneath the experiment cache: on an experiment-cache miss, seeds
     whose workload was already estimated — for any device or measurement
-    procedure — are reused instead of recomputed.
+    procedure — are reused instead of recomputed.  ``plan_cache`` (same
+    convention, with :class:`~repro.experiments.plan.PlanCache`) skips
+    rebuilding the pattern/launch/monitor plan when a physically identical
+    configuration already planned; it never changes results, only build
+    time.
     """
     resolved = resolve_cache(cache)
     if resolved is None:
-        return ExperimentRunner(config, activity_cache=activity_cache).run()
+        return ExperimentRunner(
+            config, activity_cache=activity_cache, plan_cache=plan_cache
+        ).run()
     key = experiment_fingerprint(config)
     hit = resolved.get(key)
     if hit is not None:
         hit.config["label"] = config.describe()["label"]
         return hit
-    result = ExperimentRunner(config, activity_cache=activity_cache).run()
+    result = ExperimentRunner(
+        config, activity_cache=activity_cache, plan_cache=plan_cache
+    ).run()
     resolved.put(key, result)
     return result

@@ -1,4 +1,13 @@
-"""Kernel launch planning: grid shape, occupancy, FLOPs and DRAM traffic."""
+"""Kernel launch planning: grid shape, occupancy, FLOPs and DRAM traffic.
+
+:func:`plan_launch` is a pure function of ``(problem, device, tile,
+blocks_per_sm)`` and :class:`KernelLaunch` is a frozen dataclass — planning
+the same problem on the same device always produces an identical plan with
+no retained mutable state.  That purity is load-bearing: it is what lets
+the experiment plan cache (:mod:`repro.experiments.plan`) key a launch plan
+by configuration digest and hand one shared instance to any number of
+concurrent runners, bit-for-bit equivalent to replanning per point.
+"""
 
 from __future__ import annotations
 

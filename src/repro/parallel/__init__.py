@@ -11,12 +11,13 @@ This package is the single place sweep/figure parallelism goes through:
   replaces the engine's historical hard-coded 1 MiB working-set constant
   (``REPRO_BATCH_CHUNK_BUDGET`` overrides, ``$REPRO_CACHE_DIR`` persists).
 
-See the README's "Choosing a backend" section for guidance; the one-line
-version is: the default ``auto`` resolves to ``threads`` for the built-in
-estimation workloads (their NumPy kernels release the GIL) and ``serial``
-for ``workers=1``, while ``processes`` remains available for GIL-holding
-pattern generators.  Results are bit-for-bit identical across backends at
-any worker count.
+See ``docs/parallel.md`` for the full subsystem guide (backend selection,
+the ``Executor`` contract, worker persistence and the shared-memory result
+path); the one-line version is: the default ``auto`` resolves to
+``threads`` for the built-in estimation workloads (their NumPy kernels
+release the GIL) and ``serial`` for ``workers=1``, while ``processes``
+remains available for GIL-holding pattern generators.  Results are
+bit-for-bit identical across backends at any worker count.
 """
 
 from repro.parallel.backends import (

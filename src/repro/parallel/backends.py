@@ -26,6 +26,30 @@ Three backends run the embarrassingly parallel part of a sweep:
 Every backend yields results in submission order and propagates the first
 failure; ``shutdown(cancel=True)`` stops queued work and releases backend
 resources (including unconsumed shared-memory segments).
+
+The ``Executor`` protocol contract
+----------------------------------
+
+Implementations promise, and the sweep runner relies on, exactly four
+things:
+
+1. **Order** — :meth:`Executor.map` yields one result per submitted item,
+   in submission order (never completion order).
+2. **Failure** — the first worker exception propagates to the consumer of
+   the result iterator; ``chunk_span`` declares how many submitted items
+   fail as a unit so the consumer can bound its blame (1 for per-item
+   submission, the chunk size for chunked pools).
+3. **Shutdown** — ``shutdown()`` releases every backend resource;
+   ``shutdown(cancel=True)`` additionally drops queued work.  Calling it
+   with an unconsumed result iterator must not leak resources (the
+   process backend frees published-but-unconsumed shared-memory segments).
+4. **Worker persistence** — pool workers live for the executor's whole
+   lifetime: one thread/process serves many items (and, for the process
+   pool, many *chunks*).  Per-worker state installed by the ``initializer``
+   hook — the calibrated chunk budget and each worker's plan cache (see
+   :mod:`repro.experiments.plan`) — therefore stays warm across every
+   chunk a worker serves, which is what lets a cold sweep plan each
+   distinct configuration once per worker rather than once per point.
 """
 
 from __future__ import annotations
@@ -65,6 +89,8 @@ class Executor(abc.ABC):
     let the first worker exception propagate to the consumer.
     ``chunk_span`` tells the consumer how many submitted items fail as a
     unit (1 for per-item submission, the chunk size for chunked pools).
+    See the module docstring for the full four-point contract (order,
+    failure, shutdown, worker persistence).
     """
 
     name: str = "abstract"
@@ -138,6 +164,13 @@ class ProcessExecutor(Executor):
     segment as it consumes the result stream.  ``transfer`` selects the
     return path: ``"shm"``, ``"pickle"``, or ``"auto"`` (shm when the
     platform supports it and ``REPRO_SHM`` does not disable it).
+
+    Workers are persistent: :class:`~concurrent.futures.ProcessPoolExecutor`
+    never recycles a worker process, so each one serves chunk after chunk
+    for the pool's whole lifetime.  ``initializer``/``initargs`` run once
+    per worker at start-up — the sweep runner uses the hook to seed the
+    calibrated chunk budget and each worker's plan cache, which then stays
+    warm across all of that worker's chunks.
     """
 
     name = "processes"

@@ -4,6 +4,13 @@ Experiments refer to patterns by family name plus parameters (for example
 ``build_pattern("sorted_rows", dtype="fp16", fraction=0.5)``); this module
 maps those names to the base pattern + transform composition each one needs,
 including the paper's default Gaussian scale per datatype.
+
+Built patterns are *stateless*: they hold only immutable parameters, and
+``generate(shape, spec, rng)`` takes its RNG per call, so the same pattern
+object can serve any number of seeds — or any number of concurrent sweep
+threads — without coupling them.  The experiment plan cache
+(:mod:`repro.experiments.plan`) relies on this to share one pattern
+instance across every sweep point with the same workload geometry.
 """
 
 from __future__ import annotations

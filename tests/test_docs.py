@@ -1,0 +1,106 @@
+"""Documentation consistency tests (mirror of CI's docs job).
+
+Runs ``scripts/check_docs.py`` against the working tree so broken Markdown
+links and environment-variable drift fail the tier-1 suite locally, not
+just the CI docs job — and unit-tests the checker's own failure modes,
+which the happy path alone would leave unverified.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+CHECKER = REPO_ROOT / "scripts" / "check_docs.py"
+
+
+class TestRepositoryDocs:
+    def test_checker_passes_on_working_tree(self):
+        proc = subprocess.run(
+            [sys.executable, str(CHECKER)],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, f"docs check failed:\n{proc.stderr}"
+        assert "docs OK" in proc.stdout
+
+    def test_docs_tree_is_complete(self):
+        """The satellite pages ISSUE/README promise must all exist."""
+        for page in (
+            "architecture.md",
+            "cache.md",
+            "activity.md",
+            "parallel.md",
+            "configuration.md",
+        ):
+            assert (REPO_ROOT / "docs" / page).is_file(), f"missing docs/{page}"
+
+    def test_configuration_documents_plan_cache_knob(self):
+        text = (REPO_ROOT / "docs" / "configuration.md").read_text()
+        assert "REPRO_PLAN_CACHE_MAX_ENTRIES" in text
+
+
+class TestCheckerCatchesProblems:
+    def _run(self, root: Path):
+        return subprocess.run(
+            [sys.executable, str(CHECKER), "--root", str(root)],
+            capture_output=True,
+            text=True,
+        )
+
+    def _seed_minimal_repo(self, root: Path) -> None:
+        (root / "docs").mkdir()
+        (root / "src").mkdir()
+        (root / "benchmarks").mkdir()
+        (root / "README.md").write_text("[docs](docs/configuration.md)\n")
+        (root / "docs" / "configuration.md").write_text("`REPRO_DEMO_KNOB`\n")
+        (root / "src" / "mod.py").write_text('KNOB = "REPRO_DEMO_KNOB"\n')
+
+    def test_minimal_repo_passes(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_broken_link_fails(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "docs" / "extra.md").write_text("[gone](missing.md)\n")
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "broken link" in proc.stderr
+
+    def test_undocumented_env_var_fails(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "src" / "extra.py").write_text('X = "REPRO_SECRET_KNOB"\n')
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "undocumented environment variable: REPRO_SECRET_KNOB" in proc.stderr
+
+    def test_digit_bearing_env_var_not_truncated(self, tmp_path):
+        """Names like REPRO_TIER2_CACHE must be matched whole, not clipped
+        at the first digit (which would blind the sync check to them)."""
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "src" / "extra.py").write_text('X = "REPRO_TIER2_CACHE"\n')
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "undocumented environment variable: REPRO_TIER2_CACHE" in proc.stderr
+
+    def test_stale_documented_env_var_fails(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "docs" / "configuration.md").write_text(
+            "`REPRO_DEMO_KNOB` `REPRO_REMOVED_KNOB`\n"
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "stale documentation: REPRO_REMOVED_KNOB" in proc.stderr
+
+    def test_external_links_and_fragments_ignored(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "docs" / "extra.md").write_text(
+            "[web](https://example.com/x) [anchor](#section) "
+            "[frag](configuration.md#somewhere)\n"
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
