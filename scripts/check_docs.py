@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Documentation consistency checks (stdlib only; run by CI's docs job).
 
-Two checks, either of which fails the build:
+Three checks, any of which fails the build:
 
 1. **Link resolution** — every intra-repo Markdown link in ``README.md``
    and ``docs/**/*.md`` must point at a file or directory that exists.
@@ -14,6 +14,14 @@ Two checks, either of which fails the build:
    ``src/**/*.py`` and ``benchmarks/**/*.py`` for ``REPRO_[A-Z_]+`` names
    and fails if any is missing from the configuration page (undocumented
    knob) or documented there without appearing in the code (stale doc).
+
+3. **Default-value sync** — for knobs whose read site spells the fallback
+   as a literal (``environ.get("REPRO_X", "quick")``,
+   ``_env_int("REPRO_X", 64)``, or an UPPER_CASE constant assigned a
+   literal in the same file), the *Default* cell of the configuration
+   table must carry the same value in backticks.  Knobs with sentinel
+   fallbacks (empty string) or prose defaults (``unset``, ``calibrated``)
+   are exempt — there is nothing mechanical to compare.
 
 Usage::
 
@@ -33,8 +41,9 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Environment-variable names (digits allowed, e.g. a hypothetical
 #: ``REPRO_TIER2_CACHE``); the trailing guard strips regex/prose artifacts
-#: like a dangling underscore.
-ENV_RE = re.compile(r"REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9]")
+#: like a dangling underscore, and the lookahead keeps wildcard prose such
+#: as ``REPRO_SERVE_*`` ("the whole family") from half-matching as a name.
+ENV_RE = re.compile(r"REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9](?![\w*])")
 
 #: Markdown files whose links are checked.
 LINKED_DOCS = ("README.md", "docs")
@@ -97,6 +106,93 @@ def check_env_sync(root: Path) -> list[str]:
     return problems
 
 
+#: A read site whose fallback is extractable: the env-var name followed by
+#: a quoted string, an integer, or an UPPER_CASE constant (resolved against
+#: literal assignments in the same file).
+DEFAULT_AT_READ_SITE_RE = re.compile(
+    r"\"(REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9])\"\s*,\s*"
+    r"(?:\"(?P<string>[^\"]*)\"|(?P<int>\d+)|(?P<const>[A-Z][A-Z0-9_]+))"
+)
+
+#: ``NAME = <literal>`` module-constant assignment (for resolving the
+#: ``const`` branch above).
+CONST_ASSIGN_TEMPLATE = r"^\s*{name}\s*=\s*(?:\"(?P<string>[^\"]*)\"|(?P<int>\d+))\s*(?:#.*)?$"
+
+#: A table row of the configuration page: ``| `REPRO_X` | <default> | ...``.
+DOC_ROW_RE = re.compile(r"^\|\s*`(REPRO_[A-Z0-9_]+)`\s*\|\s*([^|]*)\|")
+
+#: A Default cell that is one backticked literal (anything else is prose).
+DOC_LITERAL_RE = re.compile(r"^`([^`]+)`$")
+
+
+def _code_defaults(root: Path) -> "dict[str, set[str]]":
+    """Env-var name -> literal fallback values found at read sites."""
+    defaults: "dict[str, set[str]]" = {}
+    for tree in CODE_TREES:
+        for py_file in sorted((root / tree).rglob("*.py")):
+            text = py_file.read_text(encoding="utf-8")
+            for match in DEFAULT_AT_READ_SITE_RE.finditer(text):
+                name = match.group(1)
+                if match.group("const"):
+                    assign = re.search(
+                        CONST_ASSIGN_TEMPLATE.format(name=re.escape(match.group("const"))),
+                        text,
+                        re.MULTILINE,
+                    )
+                    if assign is None:
+                        continue  # non-literal constant; nothing to compare
+                    value = assign.group("string") or assign.group("int")
+                else:
+                    value = (
+                        match.group("string")
+                        if match.group("string") is not None
+                        else match.group("int")
+                    )
+                if value:  # empty string is an "unset" sentinel, not a default
+                    defaults.setdefault(name, set()).add(value)
+    return defaults
+
+
+def check_env_defaults(root: Path) -> list[str]:
+    problems: list[str] = []
+    config_doc = root / CONFIG_DOC
+    if not config_doc.is_file():
+        return []  # check_env_sync already reports the missing page
+    documented: "dict[str, str]" = {}
+    for line in config_doc.read_text(encoding="utf-8").splitlines():
+        row = DOC_ROW_RE.match(line)
+        if row is None:
+            continue
+        literal = DOC_LITERAL_RE.match(row.group(2).strip())
+        if literal is not None:
+            documented[row.group(1)] = literal.group(1)
+
+    code = _code_defaults(root)
+    for name, values in sorted(code.items()):
+        if len(values) > 1:
+            problems.append(
+                f"inconsistent defaults in code for {name}: "
+                + ", ".join(sorted(values))
+            )
+            continue
+        (value,) = values
+        doc_value = documented.get(name)
+        if doc_value is None:
+            if name in config_doc.read_text(encoding="utf-8"):
+                problems.append(
+                    f"default mismatch for {name}: code falls back to "
+                    f"`{value}` but the Default cell in {CONFIG_DOC} is not "
+                    f"the literal `{value}`"
+                )
+            continue
+        if doc_value != value:
+            problems.append(
+                f"default mismatch for {name}: code falls back to `{value}` "
+                f"but {CONFIG_DOC} documents `{doc_value}`"
+            )
+    return problems
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -108,14 +204,17 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
     root = args.root.resolve()
 
-    problems = check_links(root) + check_env_sync(root)
+    problems = check_links(root) + check_env_sync(root) + check_env_defaults(root)
     for problem in problems:
         print(f"error: {problem}", file=sys.stderr)
     if problems:
         print(f"{len(problems)} documentation problem(s)", file=sys.stderr)
         return 1
     md_count = len(_markdown_files(root))
-    print(f"docs OK: {md_count} markdown files checked, env-var table in sync")
+    print(
+        f"docs OK: {md_count} markdown files checked, "
+        "env-var table and defaults in sync"
+    )
     return 0
 
 

@@ -1,0 +1,132 @@
+#!/usr/bin/env python
+"""CI smoke test for the estimation server (stdlib only).
+
+Boots ``python -m repro.serve`` on a free port, then exercises the
+serving contract end to end:
+
+1. ``GET /healthz`` answers once the banner is printed;
+2. ``POST /estimate`` returns a result document for one configuration;
+3. a concurrent duplicate pair reports a coalesced hit on ``/stats``
+   (the batch window makes the overlap deterministic in practice, but the
+   pair is retried a few times so a pathologically slow runner cannot
+   flake the build);
+4. ``POST /shutdown`` stops the server, which must exit 0.
+
+Usage::
+
+    python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Small enough to finish in well under a second, large enough that the
+#: request does not complete before its duplicate arrives.
+SMOKE_CONFIG = {
+    "pattern_family": "gaussian",
+    "dtype": "fp16_t",
+    "matrix_size": 96,
+    "seeds": 2,
+    "iterations": 50,
+    "sampling": {"output_samples": 32},
+}
+
+COALESCE_ATTEMPTS = 3
+
+
+def post(base: str, path: str, body: dict, timeout: float = 120.0) -> dict:
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def get(base: str, path: str, timeout: float = 30.0) -> dict:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return json.loads(response.read())
+
+
+def main() -> int:
+    env = dict(
+        os.environ,
+        PYTHONPATH=str(REPO_ROOT / "src"),
+        PYTHONUNBUFFERED="1",
+        # A wide batch window keeps the first request of a concurrent pair
+        # in flight long enough that its duplicate always coalesces.
+        REPRO_SERVE_BATCH_WINDOW_MS="100",
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0"],
+        stdout=subprocess.PIPE,
+        env=env,
+        text=True,
+    )
+    try:
+        assert proc.stdout is not None
+        banner = json.loads(proc.stdout.readline())
+        base = banner["listening"]
+        print(f"server up at {base} (pid {banner['pid']})")
+
+        deadline = time.monotonic() + 30
+        while True:
+            try:
+                assert get(base, "/healthz") == {"status": "ok"}
+                break
+            except (urllib.error.URLError, ConnectionError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.2)
+
+        single = post(base, "/estimate", SMOKE_CONFIG)
+        assert "result" in single and "fingerprint" in single, sorted(single)
+        watts = single["result"]["mean_power_watts"]
+        print(f"single request OK: {watts:.2f} W, fingerprint {single['fingerprint'][:12]}")
+
+        for attempt in range(1, COALESCE_ATTEMPTS + 1):
+            with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+                pair = list(
+                    pool.map(lambda _: post(base, "/estimate", SMOKE_CONFIG), range(2))
+                )
+            assert pair[0] == pair[1], "duplicate responses must be bit-for-bit identical"
+            stats = get(base, "/stats")
+            coalesced = stats["service"]["coalesced"]
+            print(f"attempt {attempt}: coalesced={coalesced}")
+            if coalesced >= 1:
+                break
+        else:
+            print("error: no coalesced hit after "
+                  f"{COALESCE_ATTEMPTS} duplicate pairs", file=sys.stderr)
+            print(json.dumps(stats, indent=2), file=sys.stderr)
+            return 1
+        print("stats:", json.dumps(stats["service"]))
+
+        assert post(base, "/shutdown", {}) == {"status": "stopping"}
+        code = proc.wait(timeout=30)
+        if code != 0:
+            print(f"error: server exited {code} after shutdown", file=sys.stderr)
+            return 1
+        print("clean shutdown OK")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,14 @@ Quick start::
     )
     print(result.mean_power_watts)
 
+Application code should prefer the stable façade :mod:`repro.api`
+(``from repro import api``), which documents the supported entry points —
+``run_experiment`` / ``run_configs`` / ``run_sweep`` / ``serve`` plus the
+cache handles — with keyword-only tuning arguments and a deprecation
+policy.  The estimation server lives in :mod:`repro.serve`
+(``python -m repro.serve``); the pure, side-effect-free pipeline in
+:mod:`repro.core`.
+
 See ``examples/`` for complete scripts and ``benchmarks/`` for the per-figure
 reproduction harness.
 """
@@ -101,7 +109,27 @@ __all__ = [
     "run_sweep",
     "measure_gemm_power",
     "measure_gemm_power_batch",
+    # lazily imported submodules (see module __getattr__)
+    "api",
+    "core",
+    "serve",
 ]
+
+#: Submodules exposed lazily so ``import repro`` stays cheap and the
+#: ``serve`` *module* is never shadowed by a same-named function.
+_LAZY_SUBMODULES = ("api", "core", "serve")
+
+
+def __getattr__(name: str) -> object:
+    if name in _LAZY_SUBMODULES:
+        import importlib
+
+        return importlib.import_module(f"repro.{name}")
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> "list[str]":
+    return sorted(set(globals()) | set(_LAZY_SUBMODULES))
 
 
 def _build_config(

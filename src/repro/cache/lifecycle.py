@@ -1,20 +1,28 @@
 """Disk-cache lifecycle management: inspection and garbage collection.
 
-The on-disk cache (``REPRO_CACHE_DIR``) holds two tiers side by side:
+The on-disk cache (``REPRO_CACHE_DIR``) holds two tiers side by side, each
+in either (or both) of the disk-backend layouts of
+:mod:`repro.cache.store`:
 
-* experiment entries — ``<root>/<fingerprint>.json``
-* activity entries — ``<root>/activity/<fingerprint>.json``
+* experiment entries — ``<root>/entries.sqlite`` rows and/or legacy
+  ``<root>/<fingerprint>.json`` files
+* activity entries — the same layouts under ``<root>/activity/``
 
-Nothing ever deletes these files during normal operation, so long-lived
+Nothing ever deletes these entries during normal operation, so long-lived
 directories grow without bound.  This module provides the shared scanning,
 size/age accounting and pruning used by the ``python -m repro.cache`` CLI
 and by the env-driven auto-GC hook in :mod:`repro.cache.store`
-(``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE_DAYS``).
+(``REPRO_CACHE_MAX_BYTES`` / ``REPRO_CACHE_MAX_AGE_DAYS``).  Scanning is
+read-only for both layouts (a ``stats`` or ``--dry-run`` pass never
+mutates the directory — in particular it never triggers the SQLite
+backend's legacy-file migration); removal dispatches per entry, unlinking
+files and deleting database rows.
 
-Pruning is safe to run concurrently with readers and writers: entry files
-are published atomically (temp file + ``os.replace``), deletions of files
-that vanished underneath us are ignored, and a reader that loses the race
-simply recomputes — the cache is a pure performance layer.
+Pruning is safe to run concurrently with readers and writers: entries are
+published atomically (SQLite journaling; temp file + ``os.replace`` for
+legacy files), deletions of entries that vanished underneath us are
+ignored, and a reader that loses the race simply recomputes — the cache
+is a pure performance layer.
 """
 
 from __future__ import annotations
@@ -66,13 +74,16 @@ STALE_TMP_AGE_S = 3600.0
 
 @dataclass(frozen=True)
 class CacheEntry:
-    """One on-disk cache file."""
+    """One on-disk cache entry: a legacy JSON file, or one database row
+    (``backend == "sqlite"``, in which case ``path`` names the database
+    holding the row)."""
 
     path: Path
     tier: str
     key: str
     size_bytes: int
     mtime: float
+    backend: str = "json"
 
     def age_s(self, now: float | None = None) -> float:
         return (now if now is not None else time.time()) - self.mtime
@@ -116,6 +127,8 @@ def tier_dir(root: "str | Path", tier: str) -> Path:
 
 
 def _scan_tier(root: Path, tier: str) -> list[CacheEntry]:
+    from repro.cache.sqlite_store import DB_FILENAME, read_entries
+
     directory = tier_dir(root, tier)
     if not directory.is_dir():
         return []
@@ -132,6 +145,18 @@ def _scan_tier(root: Path, tier: str) -> list[CacheEntry]:
                 key=path.stem,
                 size_bytes=stat.st_size,
                 mtime=stat.st_mtime,
+            )
+        )
+    db_path = directory / DB_FILENAME
+    for key, size_bytes, mtime in read_entries(db_path):
+        entries.append(
+            CacheEntry(
+                path=db_path,
+                tier=tier,
+                key=key,
+                size_bytes=size_bytes,
+                mtime=mtime,
+                backend="sqlite",
             )
         )
     return entries
@@ -176,12 +201,22 @@ def _remove(entry: CacheEntry, report: PruneReport) -> bool:
     the entry is gone — callers must keep failed deletions in their survivor
     accounting, or the report would claim space that is still occupied."""
     if not report.dry_run:
-        try:
-            entry.path.unlink()
-        except FileNotFoundError:
-            pass  # another process pruned it first; it is gone either way
-        except OSError:
-            return False
+        if entry.backend == "sqlite":
+            from repro.cache.sqlite_store import delete_entries
+
+            try:
+                # 0 rows deleted means another process pruned it first; the
+                # entry is gone either way.
+                delete_entries(entry.path, [entry.key])
+            except OSError:
+                return False
+        else:
+            try:
+                entry.path.unlink()
+            except FileNotFoundError:
+                pass  # another process pruned it first; it is gone either way
+            except OSError:
+                return False
     report.removed.append(entry)
     return True
 

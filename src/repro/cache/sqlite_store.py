@@ -1,0 +1,276 @@
+"""SQLite key→document store backing the disk cache tiers.
+
+The original disk tier kept one JSON file per entry, published atomically
+with temp-file + ``os.replace``.  That layout is safe for a handful of
+cooperating processes, but it does not survive serving-layer traffic well:
+thousands of small files cost a directory scan per GC pass, an inode per
+entry, and an fsync storm under concurrent writers.  :class:`SqliteStore`
+replaces it with a single SQLite database per tier directory:
+
+* **WAL journal mode** — readers never block the (single) writer, and
+  concurrent server processes sharing one cache directory serialize their
+  writes through SQLite's own file locking instead of racing on
+  ``os.replace``;
+* **one row per entry** (``key, payload, mtime, size``) — the payload is
+  the same JSON document the file backend stored, so the cache classes
+  above are byte-compatible across backends;
+* **crash safety** — a torn write is impossible by SQLite's journaling
+  contract; a corrupt *payload* (bad JSON smuggled into a row) is treated
+  as a miss and deleted by the caller, exactly like a corrupt file was.
+
+Legacy layout migration
+-----------------------
+
+Opening a store in a directory that still contains ``<key>.json`` files
+imports them into the database (keeping each file's mtime for GC age
+accounting) and deletes the files.  Rows already in the database win over
+legacy files of the same key — the database is newer by construction.
+Import errors on individual files are treated like the JSON backend
+treated corrupt entries: the file is dropped.
+
+Thread/process safety: one :class:`SqliteStore` holds one connection,
+guarded by a lock, and may be shared by many threads; many processes may
+each hold their own store on the same path (``busy_timeout`` absorbs
+write contention).  All errors surface as :class:`OSError` so callers
+can treat disk-backend failures uniformly across backends.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["DB_FILENAME", "SqliteStore", "read_entries", "delete_entries"]
+
+#: Database file name inside a tier directory.  The JSON backend's entry
+#: files sit next to it as ``<key>.json`` until migration consumes them.
+DB_FILENAME = "entries.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS entries (
+    key     TEXT PRIMARY KEY,
+    payload TEXT NOT NULL,
+    mtime   REAL NOT NULL,
+    size    INTEGER NOT NULL
+)
+"""
+
+#: Seconds a writer waits on a locked database before giving up.  Five
+#: seconds absorbs any realistic WAL checkpoint or competing transaction;
+#: a longer stall indicates a wedged filesystem and should surface.
+_BUSY_TIMEOUT_S = 5.0
+
+
+class SqliteStore:
+    """One tier's key→JSON-text store on a single SQLite database."""
+
+    def __init__(self, directory: "str | Path", timeout: float = _BUSY_TIMEOUT_S) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / DB_FILENAME
+        self._lock = threading.RLock()
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            self._conn = sqlite3.connect(
+                str(self.path), timeout=timeout, check_same_thread=False
+            )
+            with self._lock:
+                # WAL survives across connections (it is a database property,
+                # not a connection one) but setting it is idempotent and cheap.
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+                self._conn.execute(_SCHEMA)
+                self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(f"cannot open cache database {self.path}: {exc}") from exc
+        self._migrate_legacy_files()
+
+    # ------------------------------------------------------------------ API
+
+    def get(self, key: str) -> "str | None":
+        """The JSON text stored under ``key``, or ``None``."""
+        try:
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT payload FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database read failed: {exc}") from exc
+        return row[0] if row is not None else None
+
+    def put(self, key: str, payload: str, mtime: "float | None" = None) -> None:
+        """Insert or replace one entry (last writer wins, like os.replace)."""
+        stamp = time.time() if mtime is None else float(mtime)
+        try:
+            with self._lock:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO entries (key, payload, mtime, size) "
+                    "VALUES (?, ?, ?, ?)",
+                    (key, payload, stamp, len(payload.encode("utf-8"))),
+                )
+                self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database write failed: {exc}") from exc
+
+    def delete(self, key: str) -> None:
+        """Remove one entry (no-op when absent)."""
+        try:
+            with self._lock:
+                self._conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+                self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database delete failed: {exc}") from exc
+
+    def contains(self, key: str) -> bool:
+        try:
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT 1 FROM entries WHERE key = ?", (key,)
+                ).fetchone()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database read failed: {exc}") from exc
+        return row is not None
+
+    def clear(self) -> None:
+        """Remove every entry (the database file itself stays)."""
+        try:
+            with self._lock:
+                self._conn.execute("DELETE FROM entries")
+                self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database clear failed: {exc}") from exc
+
+    def entries(self) -> "Iterator[tuple[str, int, float]]":
+        """Yield ``(key, size_bytes, mtime)`` for every entry (GC scanning)."""
+        try:
+            with self._lock:
+                rows = self._conn.execute(
+                    "SELECT key, size, mtime FROM entries"
+                ).fetchall()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database scan failed: {exc}") from exc
+        return iter(rows)
+
+    def __len__(self) -> int:
+        try:
+            with self._lock:
+                (count,) = self._conn.execute(
+                    "SELECT COUNT(*) FROM entries"
+                ).fetchone()
+        except sqlite3.Error as exc:
+            raise OSError(f"cache database count failed: {exc}") from exc
+        return int(count)
+
+    def close(self) -> None:
+        with self._lock:
+            try:
+                self._conn.close()
+            except sqlite3.Error:  # pragma: no cover - close never fails in practice
+                pass
+
+    # ------------------------------------------------------------ internals
+
+    def _migrate_legacy_files(self) -> None:
+        """Import ``<key>.json`` files left by the file backend, then remove
+        them.  ``INSERT OR IGNORE`` keeps existing rows: the database entry
+        for a key is always at least as new as any file left behind."""
+        legacy = sorted(self.directory.glob("*.json"))
+        if not legacy:
+            return
+        for path in legacy:
+            try:
+                payload = path.read_text(encoding="utf-8")
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue  # unreadable → dropped below only if removable
+            else:
+                try:
+                    with self._lock:
+                        self._conn.execute(
+                            "INSERT OR IGNORE INTO entries "
+                            "(key, payload, mtime, size) VALUES (?, ?, ?, ?)",
+                            (
+                                path.stem,
+                                payload,
+                                mtime,
+                                len(payload.encode("utf-8")),
+                            ),
+                        )
+                except sqlite3.Error as exc:
+                    raise OSError(
+                        f"legacy cache migration failed for {path.name}: {exc}"
+                    ) from exc
+            try:
+                path.unlink()
+            except OSError:
+                pass  # another process migrated it concurrently
+        try:
+            with self._lock:
+                self._conn.commit()
+        except sqlite3.Error as exc:
+            raise OSError(f"legacy cache migration commit failed: {exc}") from exc
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+# -------------------------------------------------- lifecycle/GC helpers
+#
+# The garbage collector (repro.cache.lifecycle) must be able to *inspect*
+# a database without side effects — opening a SqliteStore would run the
+# legacy-file migration, and `stats`/`ls`/`--dry-run prune` must never
+# mutate the directory they describe.  These free functions open a plain
+# read (or delete-only) connection instead.
+
+
+def read_entries(db_path: "str | Path") -> "list[tuple[str, int, float]]":
+    """``(key, size_bytes, mtime)`` rows of a database, read-only.
+
+    A missing database means no entries; an unreadable or schema-less one
+    is reported as empty too (GC treats it like it treats unreadable
+    files: skip, never crash the pass)."""
+    path = Path(db_path)
+    if not path.is_file():
+        return []
+    try:
+        conn = sqlite3.connect(str(path), timeout=_BUSY_TIMEOUT_S)
+        try:
+            return [
+                (str(key), int(size), float(mtime))
+                for key, size, mtime in conn.execute(
+                    "SELECT key, size, mtime FROM entries"
+                )
+            ]
+        finally:
+            conn.close()
+    except sqlite3.Error:
+        return []
+
+
+def delete_entries(db_path: "str | Path", keys: "list[str]") -> int:
+    """Delete the given rows from a database; returns how many went away.
+
+    Raises :class:`OSError` when the database cannot be opened or written,
+    so callers can account the failure like any other disk error."""
+    if not keys:
+        return 0
+    path = Path(db_path)
+    if not path.is_file():
+        return 0
+    try:
+        conn = sqlite3.connect(str(path), timeout=_BUSY_TIMEOUT_S)
+        try:
+            cursor = conn.executemany(
+                "DELETE FROM entries WHERE key = ?", [(key,) for key in keys]
+            )
+            conn.commit()
+            return int(cursor.rowcount) if cursor.rowcount >= 0 else len(keys)
+        finally:
+            conn.close()
+    except sqlite3.Error as exc:
+        raise OSError(f"cache database delete failed: {exc}") from exc

@@ -5,8 +5,14 @@ through two storage tiers:
 
 * an in-memory LRU bounded by ``max_entries`` (the hot tier every lookup
   touches first), and
-* an optional on-disk JSON backend (one file per key) that survives the
-  process and feeds the LRU on a memory miss.
+* an optional on-disk backend that survives the process and feeds the LRU
+  on a memory miss.  Two disk backends exist behind one interface: the
+  default ``"sqlite"`` backend (one WAL-mode database per tier directory,
+  :mod:`repro.cache.sqlite_store` — safe under the serving layer's
+  concurrent multi-process traffic) and the legacy ``"json"`` backend
+  (one file per key, atomic temp-file publication).  ``REPRO_CACHE_BACKEND``
+  selects the backend for ``"auto"`` instances; opening a SQLite-backed
+  directory migrates any legacy ``*.json`` entries into the database.
 
 Two cache classes share that machinery:
 
@@ -38,12 +44,14 @@ Every tier upholds four invariants, in roughly priority order:
 2. **Isolation** — values are defensively deep-copied on both ``put`` and
    ``get``, so callers can mutate results (e.g. re-stamp labels) without
    corrupting the store or each other.
-3. **Crash/concurrency safety** — disk writes go through a uniquely named
-   temp file and :func:`os.replace`, so processes sharing a cache directory
-   can never observe a torn entry; unreadable or incompatible entries are
-   treated as misses and deleted.  In-memory LRU bookkeeping is guarded by
-   a re-entrant lock (the ``threads`` backend hits one instance from many
-   workers), while copies and disk I/O run outside it.
+3. **Crash/concurrency safety** — disk writes are atomic under concurrent
+   processes (SQLite's journaling for the default backend; uniquely named
+   temp file + :func:`os.replace` for the JSON backend), so processes
+   sharing a cache directory can never observe a torn entry; unreadable or
+   incompatible entries are treated as misses and deleted.  In-memory LRU
+   bookkeeping is guarded by a re-entrant lock (the ``threads`` backend
+   hits one instance from many workers), while copies and disk I/O run
+   outside it.
 4. **Boundedness** — the in-memory tier is a strict LRU of ``max_entries``;
    the disk tier is pruned by size/age lifecycle GC
    (:mod:`repro.cache.lifecycle`), never trusted to grow without limit.
@@ -51,8 +59,8 @@ Every tier upholds four invariants, in roughly priority order:
 Process-wide default instances back :func:`repro.run_experiment`, the sweep
 runner and the activity engine; they are created lazily, bounded, and
 controlled by the ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` /
-``REPRO_CACHE_MAX_ENTRIES`` / ``REPRO_ACTIVITY_CACHE_MAX_ENTRIES``
-environment variables.  When ``REPRO_CACHE_MAX_BYTES`` or
+``REPRO_CACHE_BACKEND`` / ``REPRO_CACHE_MAX_ENTRIES`` /
+``REPRO_ACTIVITY_CACHE_MAX_ENTRIES`` environment variables.  When ``REPRO_CACHE_MAX_BYTES`` or
 ``REPRO_CACHE_MAX_AGE_DAYS`` is set, the shared disk directory is pruned
 (see :mod:`repro.cache.lifecycle`) the first time a default cache is built.
 """
@@ -76,6 +84,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only; imported lazily at runtime
 
 __all__ = [
     "CacheStats",
+    "DISK_BACKENDS",
+    "resolve_disk_backend",
     "JsonDiskCache",
     "ExperimentCache",
     "ActivityCache",
@@ -93,6 +103,117 @@ __all__ = [
 #: Subdirectory of a shared cache root (``REPRO_CACHE_DIR``) that holds the
 #: activity tier's files; experiment entries live at the root itself.
 ACTIVITY_SUBDIR = "activity"
+
+#: Disk backends a cache can resolve ``"auto"`` to.  ``"sqlite"`` (the
+#: default) keeps one WAL-mode database per tier directory and is the only
+#: backend safe under heavy concurrent multi-process write traffic;
+#: ``"json"`` is the legacy one-file-per-entry layout.
+DISK_BACKENDS = ("sqlite", "json")
+
+#: Environment override for the ``"auto"`` disk-backend choice.
+ENV_CACHE_BACKEND = "REPRO_CACHE_BACKEND"
+
+
+def resolve_disk_backend(backend: str) -> str:
+    """Resolve a ``disk_backend`` argument to a concrete backend name.
+
+    ``"auto"`` consults ``REPRO_CACHE_BACKEND`` and falls back to
+    ``"sqlite"``; explicit names pass through (never overridden by the
+    environment, matching the precedence rule every other knob follows).
+    """
+    if backend == "auto":
+        backend = os.environ.get("REPRO_CACHE_BACKEND", "sqlite").strip().lower() or "sqlite"
+    if backend not in DISK_BACKENDS:
+        raise ExperimentError(
+            f"disk_backend must be one of {DISK_BACKENDS + ('auto',)}, got {backend!r}"
+        )
+    return backend
+
+
+class _JsonFileBackend:
+    """Legacy disk backend: one atomically published JSON file per key."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def read_text(self, key: str) -> "str | None":
+        path = self.path(key)
+        if not path.exists():
+            return None
+        return path.read_text()
+
+    def write_text(self, key: str, text: str) -> None:
+        """Atomically publish one entry: temp file in the same directory,
+        then :func:`os.replace`, so concurrent readers (and writers racing
+        on the same key) only ever see a complete JSON document.  The temp
+        name includes the thread id because writes run outside the cache
+        lock — two threads of one process may publish the same key at once."""
+        path = self.path(key)
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
+        try:
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+
+    def delete(self, key: str) -> None:
+        try:
+            self.path(key).unlink()
+        except FileNotFoundError:
+            pass
+
+    def contains(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def clear(self) -> int:
+        """Remove every entry file; returns how many removals failed."""
+        errors = 0
+        for path in self.directory.glob("*.json"):
+            try:
+                path.unlink()
+            except OSError:
+                errors += 1
+        return errors
+
+
+class _SqliteDiskBackend:
+    """Default disk backend: one WAL-mode SQLite database per directory.
+
+    Thin adapter putting :class:`~repro.cache.sqlite_store.SqliteStore`
+    behind the same five calls as :class:`_JsonFileBackend`; every failure
+    surfaces as :class:`OSError`, so the cache layer's error accounting is
+    backend-agnostic.
+    """
+
+    def __init__(self, directory: Path) -> None:
+        from repro.cache.sqlite_store import SqliteStore
+
+        self.directory = directory
+        self._store = SqliteStore(directory)
+
+    def read_text(self, key: str) -> "str | None":
+        return self._store.get(key)
+
+    def write_text(self, key: str, text: str) -> None:
+        self._store.put(key, text)
+
+    def delete(self, key: str) -> None:
+        self._store.delete(key)
+
+    def contains(self, key: str) -> bool:
+        return self._store.contains(key)
+
+    def clear(self) -> int:
+        self._store.clear()
+        return 0
 
 
 @dataclass
@@ -134,26 +255,36 @@ class JsonDiskCache:
     Subclasses define the value type by overriding :meth:`_check_value`,
     :meth:`_serialize` and :meth:`_deserialize`; everything else — LRU
     bookkeeping, defensive copying, atomic disk writes and corrupt-entry
-    recovery — is shared.
+    recovery — is shared.  ``disk_backend`` picks the on-disk layout
+    (``"sqlite"``, ``"json"``, or ``"auto"`` → :func:`resolve_disk_backend`);
+    the serialized documents are identical across backends, so the same
+    keys yield the same payloads whichever stores them.
 
     Instances are thread-safe: the sweep runner's ``threads`` backend has
     many workers consulting one cache concurrently, so the LRU bookkeeping
-    and the usage counters are guarded by a re-entrant lock.  (Disk files
-    were already safe across *processes* via atomic temp-file publication.)
+    and the usage counters are guarded by a re-entrant lock.  (Disk entries
+    are additionally safe across *processes*: SQLite journaling for the
+    default backend, atomic temp-file publication for the JSON backend.)
     """
 
     max_entries: int = 128
     disk_dir: "str | Path | None" = None
     stats: CacheStats = field(default_factory=CacheStats)
+    disk_backend: str = "auto"
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
             raise ExperimentError(f"max_entries must be >= 1, got {self.max_entries}")
         self._entries: OrderedDict[str, Any] = OrderedDict()
         self._lock = threading.RLock()
+        self._backend: "_SqliteDiskBackend | _JsonFileBackend | None" = None
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
+            self.disk_backend = resolve_disk_backend(self.disk_backend)
+            if self.disk_backend == "sqlite":
+                self._backend = _SqliteDiskBackend(self.disk_dir)
+            else:
+                self._backend = _JsonFileBackend(self.disk_dir)
 
     # ----------------------------------------------------- value protocol
 
@@ -211,15 +342,17 @@ class JsonDiskCache:
             self._write_to_disk(key, value)
 
     def clear(self, disk: bool = False) -> None:
-        """Drop every in-memory entry (and the disk files when ``disk``)."""
+        """Drop every in-memory entry (and the disk entries when ``disk``)."""
         with self._lock:
             self._entries.clear()
-            if disk and self.disk_dir is not None:
-                for path in Path(self.disk_dir).glob("*.json"):
-                    try:
-                        path.unlink()
-                    except OSError:
-                        self.stats.disk_errors += 1
+        if disk and self._backend is not None:
+            try:
+                errors = self._backend.clear()
+            except OSError:
+                errors = 1
+            if errors:
+                with self._lock:
+                    self.stats.disk_errors += errors
 
     def describe_memory(self) -> dict[str, Any]:
         """In-memory LRU occupancy and usage counters, for live inspection
@@ -230,6 +363,7 @@ class JsonDiskCache:
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
                 "disk_dir": str(self.disk_dir) if self.disk_dir is not None else None,
+                "disk_backend": self.disk_backend if self.disk_dir is not None else None,
                 **self.stats.as_dict(),
             }
 
@@ -243,8 +377,13 @@ class JsonDiskCache:
         with self._lock:
             if key in self._entries:
                 return True
-        # Disk stat outside the lock, like every other disk touch here.
-        return self.disk_dir is not None and self._path(key).exists()
+        if self._backend is None:
+            return False
+        # Disk probe outside the lock, like every other disk touch here.
+        try:
+            return self._backend.contains(key)
+        except OSError:
+            return False
 
     # ------------------------------------------------------------ internals
 
@@ -255,46 +394,36 @@ class JsonDiskCache:
             self._entries.popitem(last=False)
             self.stats.evictions += 1
 
-    def _path(self, key: str) -> Path:
-        assert self.disk_dir is not None
-        return Path(self.disk_dir) / f"{key}.json"
-
     def _write_to_disk(self, key: str, value: Any) -> None:
-        """Atomically publish one entry: temp file in the same directory,
-        then :func:`os.replace`, so concurrent readers (and writers racing
-        on the same key) only ever see a complete JSON document.  The temp
-        name includes the thread id because writes run outside the cache
-        lock — two threads of one process may publish the same key at once."""
-        path = self._path(key)
-        tmp = path.with_name(
-            f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp"
-        )
+        """Publish one entry through the disk backend (atomic under both
+        concurrent threads and concurrent processes, whichever backend)."""
+        assert self._backend is not None
         try:
-            tmp.write_text(json.dumps(self._serialize(value)))
-            os.replace(tmp, path)
+            self._backend.write_text(key, json.dumps(self._serialize(value)))
         except OSError:
             with self._lock:
                 self.stats.disk_errors += 1
-            try:
-                tmp.unlink()
-            except OSError:
-                pass
 
     def _load_from_disk(self, key: str) -> Any:
-        if self.disk_dir is None:
-            return None
-        path = self._path(key)
-        if not path.exists():
+        if self._backend is None:
             return None
         try:
-            return self._deserialize(json.loads(path.read_text()))
-        except (OSError, ValueError, KeyError, TypeError, ReproError):
-            # A corrupt or incompatible file is a miss; delete it so it does
-            # not occupy disk space or trip every future lookup.
+            raw = self._backend.read_text(key)
+        except OSError:
+            with self._lock:
+                self.stats.disk_errors += 1
+            return None
+        if raw is None:
+            return None
+        try:
+            return self._deserialize(json.loads(raw))
+        except (ValueError, KeyError, TypeError, ReproError):
+            # A corrupt or incompatible entry is a miss; delete it so it
+            # does not occupy space or trip every future lookup.
             with self._lock:
                 self.stats.disk_errors += 1
             try:
-                path.unlink()
+                self._backend.delete(key)
             except OSError:
                 pass
             return None

@@ -48,6 +48,14 @@ class ExperimentError(ReproError):
     """Raised when an experiment definition or run is invalid."""
 
 
+class ServingError(ReproError):
+    """Raised by the estimation-serving layer (:mod:`repro.serve`)."""
+
+
+class ServiceOverloadedError(ServingError):
+    """Raised when the serving layer rejects a request for lack of queue room."""
+
+
 class AnalysisError(ReproError):
     """Raised by analysis routines on inconsistent inputs."""
 

@@ -93,6 +93,40 @@ class ExperimentConfig:
         )
         return config.with_overrides(**overrides) if overrides else config
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentConfig":
+        """Build a configuration from a JSON-shaped mapping.
+
+        Accepts the dataclass's own field names, with ``sampling`` and
+        ``telemetry`` optionally given as nested mappings (their dataclass
+        fields, e.g. ``{"sampling": {"output_samples": 64}}``).  This is the
+        inverse of :meth:`describe` for the fields :meth:`describe` carries,
+        and the wire format of the serving layer (:mod:`repro.serve`).
+        Unknown or ill-typed fields raise :class:`ExperimentError` — a
+        misspelled knob must not silently measure something else.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        data = dict(payload)
+        known = {spec.name for spec in dataclass_fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown config field(s): {', '.join(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        for field_name, factory in (("sampling", SamplingConfig), ("telemetry", TelemetryConfig)):
+            value = data.get(field_name)
+            if isinstance(value, Mapping):
+                try:
+                    data[field_name] = factory(**dict(value))
+                except TypeError as exc:
+                    raise ExperimentError(f"invalid {field_name} config: {exc}") from exc
+        try:
+            return cls(**data)
+        except TypeError as exc:
+            raise ExperimentError(f"invalid config: {exc}") from exc
+
     # ------------------------------------------------------------ utilities
 
     def describe(self) -> dict[str, Any]:

@@ -1,80 +1,73 @@
-"""Experiment runner.
+"""Experiment runner: orchestration over the pure estimation core.
 
-Reproduces the paper's measurement loop for one configuration:
+The measurement pipeline itself — plan resolution, per-seed operand
+generation, batched activity estimation, power/runtime modeling and the
+simulated DCGM trace — lives in :mod:`repro.core` and is side-effect-free.
+This module owns the *orchestration* concerns of a one-shot run:
 
-1. Resolve the configuration's :class:`~repro.experiments.plan.
-   ExperimentPlan` — device, pattern, CUTLASS-style launch plan and
-   telemetry monitor — from the plan cache, building it only when no
-   physically identical configuration has planned before.
-2. For each seed, generate A and B from the plan's pattern (same pattern,
-   different seeds; B stored transposed unless disabled) and estimate
-   switching activity — all seeds go through the batched activity engine
-   in a single call.
-3. Run the power model (with TDP throttling) and the runtime model.
-4. Simulate the DCGM 100 ms power trace for the full iteration loop, trim
-   the first 500 ms of samples, and average the rest.
-5. Aggregate across seeds into an :class:`ExperimentResult`.
+* :class:`ExperimentRunner` wraps one
+  :class:`~repro.core.EstimationPipeline` per configuration (kept as a
+  class so sweep workers and callers can hold per-config state), and
+* :func:`run_experiment` consults the content-addressed result cache
+  (:mod:`repro.cache`) around the pipeline, so repeated runs of the same
+  configuration are served without recomputation.
 
-``run_experiment`` additionally consults the content-addressed result cache
-(:mod:`repro.cache`) so repeated runs of the same configuration are served
-without recomputation.
+The sweep runner (:mod:`repro.experiments.sweep`) and the serving layer
+(:mod:`repro.serve`) layer batching, deduplication and request coalescing
+over the same core, which is what keeps their results bit-for-bit
+identical to a direct call here.
 """
 
 from __future__ import annotations
 
-import math
-from functools import partial
+import warnings
+from typing import Any
 
-from repro.activity.engine import (
-    ActivityEngine,
-    estimate_activity,
-    recommended_chunk,
-)
 from repro.activity.report import ActivityReport
-from repro.cache.fingerprint import activity_fingerprint, experiment_fingerprint
+from repro.cache.fingerprint import experiment_fingerprint
 from repro.cache.store import DEFAULT_CACHE, resolve_cache
-from repro.dtypes.registry import get_dtype
+from repro.core.pipeline import EstimationPipeline
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.plan import (
-    ExperimentPlan,
-    build_plan,
-    build_problem,
-    build_workload_pattern,
-)
+from repro.experiments.plan import ExperimentPlan
 from repro.experiments.results import ExperimentResult, SeedMeasurement
 from repro.kernels.gemm import GemmOperands, GemmProblem
-from repro.kernels.launch import KernelLaunch, plan_launch
+from repro.kernels.launch import KernelLaunch
 from repro.patterns.base import Pattern
-from repro.power.energy import EnergyEstimate
-from repro.power.model import PowerModel
-from repro.runtime.model import RuntimeModel
 from repro.telemetry.dcgm import DcgmMonitor
-from repro.util.rng import derive_rng, derive_seed
 
 __all__ = ["ExperimentRunner", "run_experiment"]
 
-#: Minimum simulated measurement window.  The paper sizes its iteration
-#: counts so each run spans many 100 ms samples; short configurations are
-#: padded up to this duration (by running more iterations) so warmup
-#: trimming and trace averaging stay meaningful.
-MIN_MEASUREMENT_DURATION_S = 3.0
+#: Names that moved to :mod:`repro.core` in the core/orchestration split;
+#: module ``__getattr__`` below keeps the old imports working (with a
+#: :class:`DeprecationWarning`) for one release.
+_MOVED_TO_CORE = {
+    "MIN_MEASUREMENT_DURATION_S": "MIN_MEASUREMENT_DURATION_S",
+}
+
+
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_CORE:
+        warnings.warn(
+            f"repro.experiments.harness.{name} moved to "
+            f"repro.core.{_MOVED_TO_CORE[name]}; the old location will be "
+            "removed in a future release",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.core as core
+
+        return getattr(core, _MOVED_TO_CORE[name])
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ExperimentRunner:
     """Runs one :class:`~repro.experiments.config.ExperimentConfig`.
 
-    Each runner resolves its configuration's
-    :class:`~repro.experiments.plan.ExperimentPlan` (device, pattern,
-    launch plan, monitor) from the plan cache — so physically identical
-    configurations plan once per process, not once per runner — and builds
-    its own power/runtime models and activity engine on top.  Runners
-    share nothing *mutable* with each other except the thread-safe caches
-    (plans are immutable and stateless, see :mod:`repro.experiments.plan`),
-    so the sweep runner may drive many of them concurrently from its
-    ``threads`` backend.  The expensive part of a run is
-    switching-activity estimation, whose kernels release the GIL inside
-    NumPy (see :mod:`repro.util.bits`), which is what makes those threads
-    scale.
+    A thin orchestration wrapper around the pure
+    :class:`~repro.core.EstimationPipeline`: the pipeline computes, the
+    runner is the stable per-config handle the sweep machinery (and older
+    callers) hold on to.  The pipeline's plan/model attributes are
+    mirrored here so existing introspection keeps working.
     """
 
     def __init__(
@@ -83,93 +76,33 @@ class ExperimentRunner:
         activity_cache: "object | None" = DEFAULT_CACHE,
         plan_cache: "object | None" = DEFAULT_CACHE,
     ) -> None:
-        self.config = config
-        self.plan: ExperimentPlan = build_plan(config, cache=plan_cache)
-        self.device = self.plan.device
-        self.power_model = PowerModel(self.device)
-        self.runtime_model = RuntimeModel()
-        self.activity_engine = ActivityEngine(
-            sampling=config.sampling, cache=activity_cache
+        self.pipeline = EstimationPipeline(
+            config, activity_cache=activity_cache, plan_cache=plan_cache
         )
+        self.config = config
+        self.plan: ExperimentPlan = self.pipeline.plan
+        self.device = self.pipeline.device
+        self.power_model = self.pipeline.power_model
+        self.runtime_model = self.pipeline.runtime_model
+        self.activity_engine = self.pipeline.activity_engine
 
     # ------------------------------------------------------------------ API
 
     def run(self) -> ExperimentResult:
-        """Run all seeds of the configuration through the batched pipeline.
-
-        Problem, pattern, launch plan and telemetry monitor come from the
-        runner's (possibly cache-shared) :class:`ExperimentPlan` and are
-        shared by every seed; switching activity for the whole seed batch
-        goes through the :class:`ActivityEngine` in one call.  Each seed is
-        keyed by :func:`~repro.cache.fingerprint.activity_fingerprint` and
-        operands are passed as factories, so seeds already in the activity
-        cache (e.g. the same workload measured on another GPU) skip operand
-        generation and estimation entirely.  The per-seed measurements are
-        bit-for-bit identical to running each seed independently without
-        any cache.
-        """
-        config = self.config
-        problem = self.plan.problem
-        pattern = self.plan.pattern
-        launch = self.plan.launch
-        monitor = self.plan.monitor
-
-        # The engine materializes operand factories chunk by chunk (matching
-        # its own stacking granularity) so peak memory is one chunk of seeds,
-        # not the whole batch — at paper scale a seed's operands are ~70 MB.
-        # The chunk is sized from the machine-calibrated working-set budget
-        # (repro.parallel.calibrate), not a fixed constant.
-        per_invocation = problem.n * problem.k + problem.m * problem.k
-        chunk = recommended_chunk(per_invocation)
-        factories = [
-            partial(self._generate_operands, problem, index, pattern=pattern)
-            for index in range(config.seeds)
-        ]
-        keys = None
-        if self.activity_engine.cache is not None:
-            keys = [
-                activity_fingerprint(config, seed=index)
-                for index in range(config.seeds)
-            ]
-        reports: list[ActivityReport] = self.activity_engine.estimate_batch(
-            factories, seeds=range(config.seeds), keys=keys, chunk=chunk
-        )
-        measurements = [
-            self._measure_seed(index, launch, report, monitor)
-            for index, report in enumerate(reports)
-        ]
-        description = config.describe()
-        description["device"] = self.device.describe()
-        return ExperimentResult(config=description, measurements=measurements)
+        """Run all seeds through the batched core pipeline."""
+        return self.pipeline.run()
 
     # ------------------------------------------------------------- internals
+    # Delegates kept for backward compatibility; the implementations live in
+    # repro.core.pipeline.
 
     def _generate_operands(
         self, problem: GemmProblem, seed_index: int, pattern: Pattern | None = None
     ) -> GemmOperands:
-        spec = get_dtype(self.config.dtype)
-        if pattern is None:
-            pattern = build_workload_pattern(self.config)
-        rng_a = derive_rng(self.config.base_seed, "A", seed_index)
-        rng_b = derive_rng(self.config.base_seed, "B", seed_index)
-        a = pattern.generate(problem.a_shape, spec, rng_a)
-        b_stored = pattern.generate(problem.b_storage_shape, spec, rng_b)
-        return GemmOperands(problem=problem, a=a, b_stored=b_stored)
+        return self.pipeline.generate_operands(problem, seed_index, pattern=pattern)
 
     def _run_seed(self, seed_index: int) -> SeedMeasurement:
-        """Run a single seed end to end (the unbatched reference path).
-
-        Deliberately bypasses the plan: problem, launch and monitor are
-        rebuilt from scratch so this path stays an independent reference
-        for the plan-sharing equivalence tests.
-        """
-        config = self.config
-        problem = build_problem(config)
-        operands = self._generate_operands(problem, seed_index)
-        launch = plan_launch(problem, self.device)
-        activity = estimate_activity(operands, sampling=config.sampling, seed=seed_index)
-        monitor = DcgmMonitor(self.device, config=config.telemetry)
-        return self._measure_seed(seed_index, launch, activity, monitor)
+        return self.pipeline.run_seed_reference(seed_index)
 
     def _measure_seed(
         self,
@@ -178,44 +111,7 @@ class ExperimentRunner:
         activity: ActivityReport,
         monitor: DcgmMonitor,
     ) -> SeedMeasurement:
-        config = self.config
-        power = self.power_model.estimate(
-            launch,
-            activity,
-            include_process_variation=config.include_process_variation,
-        )
-        runtime = self.runtime_model.estimate(launch, clock_scale=power.clock_scale)
-
-        # Size the simulated measurement window like the paper sizes its
-        # iteration counts: long enough for stable 100 ms sampling.
-        iterations = max(
-            config.iterations,
-            int(math.ceil(MIN_MEASUREMENT_DURATION_S / runtime.iteration_time_s)),
-        )
-        duration_s = iterations * runtime.iteration_time_s
-
-        trace_seed = derive_seed(config.base_seed, "trace", seed_index)
-        trace = monitor.power_trace(power.watts, duration_s, seed=trace_seed)
-        trimmed = trace.trim_warmup(config.warmup_trim_s)
-        measured_power = trimmed.mean_power_watts()
-
-        energy = EnergyEstimate(
-            power_watts=measured_power,
-            iteration_time_s=runtime.iteration_time_s,
-            iterations=iterations,
-        )
-
-        return SeedMeasurement(
-            seed=seed_index,
-            power_watts=measured_power,
-            unconstrained_power_watts=power.unconstrained_watts,
-            iteration_time_s=runtime.iteration_time_s,
-            iteration_energy_j=energy.iteration_energy_j,
-            activity_factor=power.activity_factor,
-            throttled=power.throttled,
-            clock_scale=power.clock_scale,
-            activity=activity,
-        )
+        return self.pipeline.measure_seed(seed_index, launch, activity, monitor)
 
 
 def run_experiment(

@@ -50,7 +50,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Callable
 
-from repro.cache.fingerprint import plan_fingerprint
+from repro.cache.fingerprint import canonical_json, plan_fingerprint
 from repro.cache.store import DEFAULT_CACHE
 from repro.dtypes.registry import get_dtype
 from repro.errors import ExperimentError
@@ -71,6 +71,8 @@ __all__ = [
     "build_plan",
     "build_problem",
     "build_workload_pattern",
+    "workload_pattern_key",
+    "clear_workload_pattern_memo",
     "get_default_plan_cache",
     "set_default_plan_cache",
     "resolve_plan_cache",
@@ -263,12 +265,61 @@ def build_problem(config: "ExperimentConfig") -> GemmProblem:
     )
 
 
-def build_workload_pattern(config: "ExperimentConfig") -> Pattern:
-    """The input pattern of a configuration (stateless; RNG comes later)."""
-    spec = get_dtype(config.dtype)
-    return build_pattern(
-        config.pattern_family, spec, **dict(config.pattern_params)
+def workload_pattern_key(config: "ExperimentConfig") -> str:
+    """Canonical key of the config subset that determines the pattern.
+
+    Patterns depend on the workload alone — family, parameters and
+    dtype — not on the device, matrix size or measurement procedure, so
+    this key is deliberately much coarser than the plan fingerprint.
+    """
+    return canonical_json(
+        {
+            "family": config.pattern_family,
+            "params": dict(config.pattern_params),
+            "dtype": get_dtype(config.dtype).name,
+        }
     )
+
+
+#: Workload-keyed pattern memo: plans that differ only in device (or any
+#: other non-workload field) share one pattern object instead of each
+#: rebuilding an identical one.  Sharing is safe because patterns are
+#: stateless after construction (see the module docstring); the memo is a
+#: small LRU because distinct workloads per process are few.
+_PATTERN_MEMO_MAX_ENTRIES = 256
+_pattern_memo: "OrderedDict[str, Pattern]" = OrderedDict()
+_pattern_memo_lock = threading.Lock()
+
+
+def clear_workload_pattern_memo() -> None:
+    """Drop every shared pattern (subsequent builds construct fresh ones)."""
+    with _pattern_memo_lock:
+        _pattern_memo.clear()
+
+
+def build_workload_pattern(config: "ExperimentConfig", shared: bool = True) -> Pattern:
+    """The input pattern of a configuration (stateless; RNG comes later).
+
+    With ``shared`` (the default), identical workloads — same family,
+    parameters and dtype, any device — get the *same* pattern object via a
+    process-wide memo; ``shared=False`` always constructs a private
+    instance.
+    """
+    if not shared:
+        spec = get_dtype(config.dtype)
+        return build_pattern(config.pattern_family, spec, **dict(config.pattern_params))
+    key = workload_pattern_key(config)
+    with _pattern_memo_lock:
+        pattern = _pattern_memo.get(key)
+        if pattern is not None:
+            _pattern_memo.move_to_end(key)
+            return pattern
+        spec = get_dtype(config.dtype)
+        pattern = build_pattern(config.pattern_family, spec, **dict(config.pattern_params))
+        _pattern_memo[key] = pattern
+        while len(_pattern_memo) > _PATTERN_MEMO_MAX_ENTRIES:
+            _pattern_memo.popitem(last=False)
+        return pattern
 
 
 def _construct_plan(config: "ExperimentConfig", fingerprint: str) -> ExperimentPlan:

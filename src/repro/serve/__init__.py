@@ -1,0 +1,32 @@
+"""Estimation-as-a-service: a long-running serving layer over the core.
+
+``repro.serve`` turns the estimation pipeline into a small JSON-over-HTTP
+service (stdlib only).  Concurrent identical requests are coalesced into
+one computation (single-flight, keyed by the same content-addressed
+fingerprint the result cache uses), compatible pending requests batch
+through the sweep machinery, and bounded admission sheds load with 429s
+instead of queueing without limit.  Because the core is deterministic,
+a served report is bit-for-bit the report a direct
+:func:`repro.run_experiment` call would produce.
+
+Start a server::
+
+    python -m repro.serve --port 8035
+
+or programmatically via :func:`repro.serve.serve` /
+:class:`repro.serve.EstimationServer`.  See ``docs/serving.md`` for the
+protocol and ``docs/configuration.md`` for the ``REPRO_SERVE_*`` knobs.
+"""
+
+from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, EstimationServer, serve
+from repro.serve.service import EstimationService, ServiceConfig, ServiceStats
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "EstimationServer",
+    "EstimationService",
+    "ServiceConfig",
+    "ServiceStats",
+    "serve",
+]

@@ -1,0 +1,41 @@
+"""``python -m repro.serve`` — run the estimation server.
+
+Flags beat the environment (``REPRO_SERVE_HOST`` / ``REPRO_SERVE_PORT``),
+which beats the built-in defaults, matching the library-wide precedence
+rules in ``docs/configuration.md``.  The remaining service knobs
+(``REPRO_SERVE_MAX_PENDING``, ``REPRO_SERVE_BATCH_WINDOW_MS``,
+``REPRO_SERVE_MAX_BATCH``, ``REPRO_SERVE_WORKERS``,
+``REPRO_SERVE_BACKEND``) are environment-only.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.serve.server import serve
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve GEMM power estimates over JSON/HTTP.",
+    )
+    parser.add_argument(
+        "--host", default=None, help="bind address (default: $REPRO_SERVE_HOST or 127.0.0.1)"
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="bind port; 0 picks a free one (default: $REPRO_SERVE_PORT or 8035)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress the listening banner"
+    )
+    args = parser.parse_args(argv)
+    serve(host=args.host, port=args.port, announce=not args.quiet)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,135 @@
+"""Tiny HTTP/1.1 subset over asyncio streams.
+
+The serving layer speaks just enough HTTP for ``curl``, ``urllib`` and CI
+smoke tests: one request per connection (``Connection: close``), JSON
+bodies, and a handful of status codes.  Implementing this by hand keeps
+the server on the standard library — the container policy forbids new
+dependencies — and the subset is small enough that a real framework would
+be mostly dead weight.
+
+Limits are deliberate: a request line plus headers must fit
+:data:`MAX_HEADER_BYTES` and a body :data:`MAX_BODY_BYTES`, which caps
+the memory a misbehaving client can pin.  Anything outside the subset
+maps to a :class:`HttpError` carrying the status code to send back.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_BODY_BYTES",
+    "HttpError",
+    "HttpRequest",
+    "read_request",
+    "render_response",
+]
+
+#: Upper bound on the request line plus all headers.
+MAX_HEADER_BYTES = 16 * 1024
+#: Upper bound on a request body (configs are ~1 KiB; 4 MiB is generous).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A malformed or unserviceable request; ``status`` goes on the wire."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    headers: "dict[str, str]" = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON (400 on syntax errors or an empty body)."""
+        if not self.body:
+            raise HttpError(400, "request body must be a JSON document")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from exc
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    """Parse one request off the stream; raises :class:`HttpError`."""
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise HttpError(413, "request headers too large") from exc
+    except asyncio.IncompleteReadError as exc:
+        raise HttpError(400, "connection closed mid-request") from exc
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request headers too large")
+
+    lines = header_block.decode("latin-1").split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {request_line!r}")
+    method, path, _version = parts
+
+    headers: "dict[str, str]" = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, separator, value = line.partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length_text = headers.get("content-length", "")
+    if length_text:
+        try:
+            length = int(length_text)
+        except ValueError as exc:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}") from exc
+        if length < 0:
+            raise HttpError(400, f"bad Content-Length: {length_text!r}")
+        if length > MAX_BODY_BYTES:
+            raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError as exc:
+            raise HttpError(400, "connection closed mid-body") from exc
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+
+    return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(status: int, payload: Any) -> bytes:
+    """Serialize a JSON response with ``Connection: close`` semantics."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,313 @@
+"""Transport-independent estimation service: coalescing, batching, admission.
+
+:class:`EstimationService` is the heart of the serving layer.  It accepts
+experiment configurations from any front end (the HTTP server in
+:mod:`repro.serve.server`, or tests driving it directly) and turns them
+into calls on the sweep machinery, with three serving-specific behaviours
+layered on top:
+
+**Single-flight coalescing.**  Requests are keyed by
+:func:`~repro.cache.fingerprint.experiment_fingerprint` — the same
+content-addressed key the result cache uses, so two requests differing
+only in label coalesce exactly when the cache would serve one from the
+other.  The first request for a key creates a future and enqueues the
+work; every concurrent duplicate awaits that same future and never touches
+the queue.  The estimation core is deterministic, so a coalesced response
+is bit-for-bit the response a dedicated computation would have produced.
+
+**Batching.**  Admitted requests sit in a queue for a short collection
+window (``batch_window_s``), then drain through one
+:func:`~repro.experiments.sweep.run_configs` call per batch — inheriting
+its deduplication, caching and execution backends.  A batch computes in a
+single worker thread (``run_configs`` manages its own pool), keeping the
+event loop free to accept, coalesce and reject while estimation runs.
+
+**Bounded admission.**  At most ``max_pending`` distinct keys may be
+in flight; the next new key is rejected with
+:class:`~repro.errors.ServiceOverloadedError` (HTTP 429 upstream).
+Duplicates of an in-flight key always coalesce — joining an existing
+future consumes no new capacity, so a thundering herd of identical
+requests cannot wedge the service.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Mapping
+
+from repro.cache.fingerprint import experiment_fingerprint
+from repro.cache.store import DEFAULT_CACHE, peek_default_caches
+from repro.errors import ServiceOverloadedError, ServingError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.experiments.sweep import RunStats, run_configs
+
+__all__ = ["ServiceConfig", "ServiceStats", "EstimationService"]
+
+
+def _env_int(name: str, fallback: int, environ: Mapping[str, str]) -> int:
+    raw = environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ServingError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Serving knobs; :meth:`from_env` reads the ``REPRO_SERVE_*`` family."""
+
+    #: distinct in-flight requests admitted before 429s (coalesced
+    #: duplicates ride along for free)
+    max_pending: int = 64
+    #: how long an admitted request waits for companions before its batch
+    #: drains, seconds
+    batch_window_s: float = 0.010
+    #: most configurations handed to one ``run_configs`` call
+    max_batch: int = 16
+    #: ``workers=`` for each batch (1 = inline in the compute thread)
+    workers: int = 1
+    #: execution backend for each batch (see :mod:`repro.parallel`)
+    backend: str = "auto"
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ServingError(f"max_pending must be >= 1, got {self.max_pending}")
+        if self.batch_window_s < 0:
+            raise ServingError(
+                f"batch_window_s must be >= 0, got {self.batch_window_s}"
+            )
+        if self.max_batch < 1:
+            raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.workers < 1:
+            raise ServingError(f"workers must be >= 1, got {self.workers}")
+
+    @classmethod
+    def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "ServiceConfig":
+        env = os.environ if environ is None else environ
+        window_ms = _env_int("REPRO_SERVE_BATCH_WINDOW_MS", 10, env)
+        if window_ms < 0:
+            raise ServingError(
+                f"REPRO_SERVE_BATCH_WINDOW_MS must be >= 0, got {window_ms}"
+            )
+        return cls(
+            max_pending=_env_int("REPRO_SERVE_MAX_PENDING", 64, env),
+            batch_window_s=window_ms / 1000.0,
+            max_batch=_env_int("REPRO_SERVE_MAX_BATCH", 16, env),
+            workers=_env_int("REPRO_SERVE_WORKERS", 1, env),
+            backend=env.get("REPRO_SERVE_BACKEND", "auto"),
+        )
+
+
+@dataclass
+class ServiceStats:
+    """Live serving counters, exposed verbatim on ``/stats``."""
+
+    #: requests submitted (admitted, coalesced or rejected)
+    requests: int = 0
+    #: requests that joined an already-in-flight computation
+    coalesced: int = 0
+    #: requests rejected by admission control
+    rejected: int = 0
+    #: requests whose computation raised
+    errors: int = 0
+    #: ``run_configs`` batches drained
+    batches: int = 0
+    #: cumulative sweep-runner accounting across all batches
+    run: RunStats = field(default_factory=RunStats)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "errors": self.errors,
+            "batches": self.batches,
+            "run": self.run.as_dict(),
+        }
+
+
+class EstimationService:
+    """Coalescing, batching front door over the estimation machinery.
+
+    One instance serves one event loop.  ``compute`` is injectable for
+    tests; it must accept the keyword arguments :meth:`_run_batch` passes
+    to :func:`~repro.experiments.sweep.run_configs`.
+    """
+
+    def __init__(
+        self,
+        config: "ServiceConfig | None" = None,
+        *,
+        cache: "object | None" = DEFAULT_CACHE,
+        activity_cache: "object | None" = DEFAULT_CACHE,
+        plan_cache: "object | None" = DEFAULT_CACHE,
+        compute: "Callable[..., list[ExperimentResult]] | None" = None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.stats = ServiceStats()
+        self._cache = cache
+        self._activity_cache = activity_cache
+        self._plan_cache = plan_cache
+        self._compute = compute if compute is not None else run_configs
+        #: key -> future shared by every coalesced waiter of that key
+        self._inflight: "dict[str, asyncio.Future[ExperimentResult]]" = {}
+        #: keys admitted but not yet drained into a batch
+        self._queue: "list[tuple[str, ExperimentConfig]]" = []
+        self._batcher: "asyncio.Task[None] | None" = None
+        # One compute thread: batches serialize behind each other (each
+        # batch parallelizes internally via run_configs' own backends),
+        # while the event loop stays responsive for admission/coalescing.
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-compute"
+        )
+        self._closed = False
+
+    # ------------------------------------------------------------------ API
+
+    async def submit(self, config: ExperimentConfig) -> ExperimentResult:
+        """Estimate one configuration, coalescing with identical in-flight work.
+
+        Returns the (possibly shared) :class:`ExperimentResult`.  Callers
+        must not mutate it; serialize with :meth:`render_result`, which
+        re-stamps the label the way the result cache does.
+        """
+        if self._closed:
+            raise ServingError("service is closed")
+        self.stats.requests += 1
+        key = experiment_fingerprint(config)
+        existing = self._inflight.get(key)
+        if existing is not None:
+            self.stats.coalesced += 1
+            return await asyncio.shield(existing)
+        if len(self._inflight) >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise ServiceOverloadedError(
+                f"{len(self._inflight)} requests in flight "
+                f"(max_pending={self.config.max_pending})"
+            )
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[ExperimentResult]" = loop.create_future()
+        self._inflight[key] = future
+        self._queue.append((key, config))
+        if self._batcher is None or self._batcher.done():
+            self._batcher = loop.create_task(self._drain())
+        return await asyncio.shield(future)
+
+    @staticmethod
+    def render_result(config: ExperimentConfig, result: ExperimentResult) -> dict[str, Any]:
+        """JSON document for one response.
+
+        Coalesced waiters share one result object, so the per-request label
+        (excluded from the fingerprint, exactly like in the result cache) is
+        re-stamped on the serialized copy, never on the shared object.
+        """
+        payload = result.as_dict()
+        payload["config"]["label"] = config.describe()["label"]
+        return payload
+
+    def describe(self) -> dict[str, Any]:
+        """Service counters plus per-tier cache counters (the ``/stats`` body).
+
+        Cache tiers appear when this process has created them — the default
+        caches are lazy, so a service that has not yet computed anything
+        reports no tiers rather than fabricating empty ones.
+        """
+        tiers = {
+            name: cache.describe_memory()
+            for name, cache in peek_default_caches().items()
+        }
+        for name, cache in (
+            ("experiment", self._cache),
+            ("activity", self._activity_cache),
+            ("plan", self._plan_cache),
+        ):
+            if cache is not None and cache is not DEFAULT_CACHE:
+                tiers[name] = cache.describe_memory()
+        return {
+            "service": self.stats.as_dict(),
+            "pending": len(self._inflight),
+            "config": {
+                "max_pending": self.config.max_pending,
+                "batch_window_s": self.config.batch_window_s,
+                "max_batch": self.config.max_batch,
+                "workers": self.config.workers,
+                "backend": self.config.backend,
+            },
+            "caches": tiers,
+        }
+
+    async def close(self) -> None:
+        """Stop accepting work, fail pending futures, release the executor."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._batcher is not None and not self._batcher.done():
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+        for key, future in list(self._inflight.items()):
+            if not future.done():
+                future.set_exception(ServingError("service closed"))
+            self._inflight.pop(key, None)
+        self._queue.clear()
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------ internals
+
+    async def _drain(self) -> None:
+        """Batcher: collect for one window, compute, publish, repeat."""
+        while self._queue:
+            if self.config.batch_window_s > 0:
+                await asyncio.sleep(self.config.batch_window_s)
+            batch = self._queue[: self.config.max_batch]
+            del self._queue[: len(batch)]
+            if not batch:
+                continue
+            await self._run_batch(batch)
+
+    async def _run_batch(self, batch: "list[tuple[str, ExperimentConfig]]") -> None:
+        self.stats.batches += 1
+        run_stats = RunStats()
+        loop = asyncio.get_running_loop()
+        job = partial(
+            self._compute,
+            [config for _, config in batch],
+            workers=self.config.workers,
+            cache=self._cache,
+            activity_cache=self._activity_cache,
+            plan_cache=self._plan_cache,
+            stats=run_stats,
+            backend=self.config.backend,
+        )
+        try:
+            results = await loop.run_in_executor(self._executor, job)
+        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
+            self.stats.errors += len(batch)
+            for key, _ in batch:
+                future = self._inflight.pop(key, None)
+                if future is not None and not future.done():
+                    future.set_exception(exc)
+            return
+        self._accumulate(run_stats)
+        for (key, _), result in zip(batch, results):
+            future = self._inflight.pop(key, None)
+            if future is not None and not future.done():
+                future.set_result(result)
+
+    def _accumulate(self, run_stats: RunStats) -> None:
+        total = self.stats.run
+        total.total += run_stats.total
+        total.unique += run_stats.unique
+        total.cache_hits += run_stats.cache_hits
+        total.executed += run_stats.executed
+        total.duration_s += run_stats.duration_s
+        total.backend = run_stats.backend

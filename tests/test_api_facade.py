@@ -1,0 +1,157 @@
+"""Tests for the stable public façade (repro.api) and top-level exports."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+
+
+class TestExports:
+    def test_every_declared_name_resolves(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None, name
+
+    def test_lazy_submodules_resolve_to_modules(self):
+        import types
+
+        import repro
+
+        # ``repro.serve`` must stay the module — a same-named function at
+        # the top level would shadow ``python -m repro.serve``.
+        assert isinstance(repro.api, types.ModuleType)
+        assert isinstance(repro.core, types.ModuleType)
+        assert isinstance(repro.serve, types.ModuleType)
+        assert callable(repro.serve.serve)
+        for name in ("api", "core", "serve"):
+            assert name in repro.__all__
+            assert name in dir(repro)
+
+    def test_unknown_top_level_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError):
+            repro.no_such_symbol
+
+    def test_facade_symbols_are_the_real_objects(self):
+        from repro.core import estimate_experiment
+        from repro.experiments.config import ExperimentConfig
+        from repro.serve.server import serve
+        from repro.serve.service import ServiceConfig
+
+        assert api.ExperimentConfig is ExperimentConfig
+        assert api.estimate_experiment is estimate_experiment
+        assert api.serve is serve
+        assert api.ServiceConfig is ServiceConfig
+
+
+class TestKeywordOnlyContracts:
+    def test_run_experiment_rejects_positional_caches(self, quiet_config):
+        with pytest.raises(TypeError):
+            api.run_experiment(quiet_config(), None)
+
+    def test_run_configs_rejects_positional_workers(self, quiet_config):
+        with pytest.raises(TypeError):
+            api.run_configs([quiet_config()], 2)
+
+    def test_run_sweep_rejects_positional_tuning(self, quiet_config):
+        with pytest.raises(TypeError):
+            api.run_sweep(quiet_config(), "matrix_size", [128, 160], "config")
+
+
+class TestFacadeEquivalence:
+    def test_run_experiment_matches_harness(self, quiet_config):
+        from repro.experiments.harness import run_experiment as harness_run
+
+        config = quiet_config()
+        facade = api.run_experiment(
+            config, cache=None, activity_cache=None, plan_cache=None
+        )
+        direct = harness_run(
+            config, cache=None, activity_cache=None, plan_cache=None
+        )
+        assert facade.as_dict() == direct.as_dict()
+
+    def test_run_configs_matches_sweep(self, quiet_config):
+        from repro.experiments.sweep import run_configs as sweep_run
+
+        configs = [quiet_config(), quiet_config(matrix_size=160)]
+        facade = api.run_configs(
+            configs, cache=None, activity_cache=None, plan_cache=None
+        )
+        direct = sweep_run(
+            configs, cache=None, activity_cache=None, plan_cache=None
+        )
+        assert [r.as_dict() for r in facade] == [r.as_dict() for r in direct]
+
+    def test_run_sweep_matches_sweep(self, quiet_config):
+        from repro.experiments.sweep import run_sweep as sweep_run
+
+        base = quiet_config()
+        facade = api.run_sweep(
+            base,
+            "matrix_size",
+            [128, 160],
+            target="config",
+            cache=None,
+            activity_cache=None,
+            plan_cache=None,
+        )
+        direct = sweep_run(
+            base,
+            "matrix_size",
+            [128, 160],
+            target="config",
+            cache=None,
+            activity_cache=None,
+            plan_cache=None,
+        )
+        assert [r.as_dict() for r in facade.results] == [
+            r.as_dict() for r in direct.results
+        ]
+
+    def test_default_caches_is_peek(self):
+        from repro.cache.store import peek_default_caches
+
+        assert api.default_caches() == peek_default_caches()
+
+
+class TestConfigWireFormat:
+    def test_from_dict_round_trips_describe_fields(self, quiet_config):
+        from repro.experiments.config import ExperimentConfig
+
+        config = quiet_config(label="wire")
+        rebuilt = ExperimentConfig.from_dict(config.describe())
+        for field_name in config.describe():
+            assert getattr(rebuilt, field_name) == getattr(config, field_name), field_name
+
+    def test_from_dict_nested_sub_configs(self):
+        from repro.experiments.config import ExperimentConfig
+
+        config = ExperimentConfig.from_dict(
+            {
+                "matrix_size": 96,
+                "sampling": {"output_samples": 32},
+                "telemetry": {"noise_std_watts": 0.0, "drift_watts": 0.0},
+            }
+        )
+        assert config.matrix_size == 96
+        assert config.sampling.output_samples == 32
+        assert config.telemetry.noise_std_watts == 0.0
+
+    def test_from_dict_rejects_unknown_fields(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ExperimentError) as excinfo:
+            ExperimentConfig.from_dict({"matrix_sise": 96})
+        assert "matrix_sise" in str(excinfo.value)
+
+    def test_from_dict_rejects_bad_sub_config_fields(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.config import ExperimentConfig
+
+        with pytest.raises(ExperimentError):
+            ExperimentConfig.from_dict({"sampling": {"output_sample": 32}})
+        with pytest.raises(ExperimentError):
+            ExperimentConfig.from_dict({"matrix_size": "not-a-number"})

@@ -12,6 +12,7 @@ from repro.cache.fingerprint import (
     experiment_fingerprint,
     fingerprint_payload,
 )
+from repro.cache.sqlite_store import DB_FILENAME, SqliteStore
 from repro.cache.store import (
     DEFAULT_CACHE,
     ExperimentCache,
@@ -171,37 +172,52 @@ class TestExperimentCache:
         with pytest.raises(ExperimentError):
             resolve_cache("bogus")
 
-    def test_disk_round_trip(self, quiet_config, tmp_path):
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_disk_round_trip(self, quiet_config, tmp_path, backend):
         config = quiet_config()
         key = experiment_fingerprint(config)
         result = run_experiment(config, cache=None)
 
-        writer = ExperimentCache(disk_dir=tmp_path)
+        writer = ExperimentCache(disk_dir=tmp_path, disk_backend=backend)
         writer.put(key, result)
-        assert (tmp_path / f"{key}.json").exists()
+        if backend == "json":
+            assert (tmp_path / f"{key}.json").exists()
+        else:
+            assert (tmp_path / DB_FILENAME).exists()
+            assert not (tmp_path / f"{key}.json").exists()
 
         # A fresh instance (fresh process, conceptually) reads it back.
-        reader = ExperimentCache(disk_dir=tmp_path)
+        reader = ExperimentCache(disk_dir=tmp_path, disk_backend=backend)
         loaded = reader.get(key)
         assert loaded is not None
         assert reader.stats.disk_hits == 1
         assert loaded.as_dict() == result.as_dict()
 
-    def test_corrupt_disk_entry_is_a_miss(self, quiet_config, tmp_path):
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_corrupt_disk_entry_is_a_miss(self, quiet_config, tmp_path, backend):
         config = quiet_config()
         key = experiment_fingerprint(config)
-        (tmp_path / f"{key}.json").write_text("{not json")
-        cache = ExperimentCache(disk_dir=tmp_path)
+        if backend == "json":
+            (tmp_path / f"{key}.json").write_text("{not json")
+        else:
+            with SqliteStore(tmp_path) as store:
+                store.put(key, "{not json")
+        cache = ExperimentCache(disk_dir=tmp_path, disk_backend=backend)
         assert cache.get(key) is None
         assert cache.stats.disk_errors == 1
         assert cache.stats.misses == 1
-        # The unreadable file is deleted, not left to trip every lookup.
-        assert not (tmp_path / f"{key}.json").exists()
+        # The unreadable entry is deleted, not left to trip every lookup.
+        if backend == "json":
+            assert not (tmp_path / f"{key}.json").exists()
+        else:
+            with SqliteStore(tmp_path) as store:
+                assert not store.contains(key)
 
-    def test_clear(self, quiet_config, tmp_path):
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_clear(self, quiet_config, tmp_path, backend):
         config = quiet_config()
         key = experiment_fingerprint(config)
-        cache = ExperimentCache(disk_dir=tmp_path)
+        cache = ExperimentCache(disk_dir=tmp_path, disk_backend=backend)
         cache.put(key, run_experiment(config, cache=None))
         cache.clear()
         assert len(cache) == 0

@@ -55,10 +55,10 @@ def _make_report(value: float = 0.5) -> ActivityReport:
     )
 
 
-def _hammer_puts(args: tuple[str, int, int]) -> int:
+def _hammer_puts(args: tuple[str, int, int, str]) -> int:
     """Worker for the concurrency test: interleaved puts on shared keys."""
-    directory, worker_id, rounds = args
-    cache = ActivityCache(disk_dir=directory)
+    directory, worker_id, rounds, backend = args
+    cache = ActivityCache(disk_dir=directory, disk_backend=backend)
     for index in range(rounds):
         cache.put(f"key{index % 8}", _make_report(0.25 + worker_id * 0.1 + index * 1e-6))
     return cache.stats.disk_errors
@@ -270,31 +270,34 @@ class TestAtomicDiskWrites:
         assert not path.exists()
 
     def test_truncated_entry_recovers_after_next_put(self, tmp_path):
-        cache = ActivityCache(disk_dir=tmp_path)
+        # Exercises the legacy file layout's torn-write recovery; the SQLite
+        # backend cannot tear by its journaling contract.
+        cache = ActivityCache(disk_dir=tmp_path, disk_backend="json")
         report = _make_report()
         cache.put("k", report)
         (tmp_path / "k.json").write_text(
             (tmp_path / "k.json").read_text()[:20]
         )  # simulate torn write from a non-atomic writer
-        reader = ActivityCache(disk_dir=tmp_path)
+        reader = ActivityCache(disk_dir=tmp_path, disk_backend="json")
         assert reader.get("k") is None
         cache.put("k", report)  # writer re-publishes
-        assert ActivityCache(disk_dir=tmp_path).get("k") == report
+        assert ActivityCache(disk_dir=tmp_path, disk_backend="json").get("k") == report
 
     def test_no_temp_files_left_behind(self, tmp_path):
-        cache = ActivityCache(disk_dir=tmp_path)
+        cache = ActivityCache(disk_dir=tmp_path, disk_backend="json")
         for index in range(5):
             cache.put(f"k{index}", _make_report())
         assert list(tmp_path.glob("*.tmp")) == []
         assert len(list(tmp_path.glob("*.json"))) == 5
 
-    def test_concurrent_puts_leave_readable_store(self, tmp_path):
-        jobs = [(str(tmp_path), worker, 60) for worker in range(3)]
+    @pytest.mark.parametrize("backend", ["json", "sqlite"])
+    def test_concurrent_puts_leave_readable_store(self, tmp_path, backend):
+        jobs = [(str(tmp_path), worker, 60, backend) for worker in range(3)]
         with ProcessPoolExecutor(max_workers=3) as pool:
             disk_errors = list(pool.map(_hammer_puts, jobs))
         assert disk_errors == [0, 0, 0]
-        reader = ActivityCache(disk_dir=tmp_path)
-        keys = sorted(path.stem for path in tmp_path.glob("*.json"))
+        reader = ActivityCache(disk_dir=tmp_path, disk_backend=backend)
+        keys = sorted(entry.key for entry in scan_cache_dir(tmp_path))
         assert keys == [f"key{index}" for index in range(8)]
         for key in keys:
             assert reader.get(key) is not None
@@ -573,11 +576,10 @@ class TestSweepRobustness:
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         configs = [quiet_config(), quiet_config(matrix_size=256)]
         run_configs(configs, workers=2, cache=None, activity_cache=None)
-        activity_dir = tmp_path / "activity"
-        assert not activity_dir.is_dir() or not list(activity_dir.glob("*.json"))
+        assert not [e for e in scan_cache_dir(tmp_path) if e.tier == "activity"]
 
         run_configs(configs, workers=2, cache=None)
-        assert list(activity_dir.glob("*.json"))
+        assert [e for e in scan_cache_dir(tmp_path) if e.tier == "activity"]
 
     def test_oversized_chunksize_is_capped(self, quiet_config):
         configs = [

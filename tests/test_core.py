@@ -1,0 +1,88 @@
+"""Tests for the pure estimation core (repro.core) and its wrappers.
+
+The core/orchestration split only works if every layer above the pipeline
+— the runner, the cached one-shot entry point, the sweep machinery and the
+serving layer — produces bit-for-bit the pipeline's own output.  These
+tests pin that equivalence plus the deprecation shim for the old harness
+location of the moved constant.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core import (
+    MIN_MEASUREMENT_DURATION_S,
+    EstimationPipeline,
+    estimate_experiment,
+)
+from repro.experiments.harness import ExperimentRunner, run_experiment
+
+
+class TestPipelineEquivalence:
+    def test_all_entry_points_agree_bit_for_bit(self, quiet_config):
+        config = quiet_config(seeds=2)
+        pipeline_doc = EstimationPipeline(
+            config, activity_cache=None, plan_cache=None
+        ).run().as_dict()
+        function_doc = estimate_experiment(
+            config, activity_cache=None, plan_cache=None
+        ).as_dict()
+        runner_doc = ExperimentRunner(
+            config, activity_cache=None, plan_cache=None
+        ).run().as_dict()
+        uncached_doc = run_experiment(
+            config, cache=None, activity_cache=None, plan_cache=None
+        ).as_dict()
+        assert pipeline_doc == function_doc == runner_doc == uncached_doc
+
+    def test_pipeline_is_deterministic(self, quiet_config):
+        config = quiet_config()
+        first = EstimationPipeline(config, activity_cache=None, plan_cache=None).run()
+        second = EstimationPipeline(config, activity_cache=None, plan_cache=None).run()
+        assert first.as_dict() == second.as_dict()
+
+    def test_runner_mirrors_pipeline_state(self, quiet_config):
+        runner = ExperimentRunner(quiet_config(), activity_cache=None, plan_cache=None)
+        assert runner.plan is runner.pipeline.plan
+        assert runner.device is runner.pipeline.device
+        assert runner.power_model is runner.pipeline.power_model
+        assert runner.runtime_model is runner.pipeline.runtime_model
+        assert runner.activity_engine is runner.pipeline.activity_engine
+
+    def test_reference_seed_path_matches_batched(self, quiet_config):
+        # The per-seed reference path (kept for the old _run_seed hook) must
+        # agree with the batched pipeline the seeds normally go through.
+        config = quiet_config(seeds=2)
+        pipeline = EstimationPipeline(config, activity_cache=None, plan_cache=None)
+        batched = pipeline.run()
+        reference = [
+            pipeline.run_seed_reference(index) for index in range(config.seeds)
+        ]
+        assert [m.as_dict() for m in batched.measurements] == [
+            m.as_dict() for m in reference
+        ]
+
+
+class TestMinimumDuration:
+    def test_constant_is_exported_from_core(self):
+        assert MIN_MEASUREMENT_DURATION_S == pytest.approx(3.0)
+
+    def test_harness_shim_warns_but_works(self):
+        import repro.experiments.harness as harness
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            value = harness.MIN_MEASUREMENT_DURATION_S
+        assert value == MIN_MEASUREMENT_DURATION_S
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "repro.core" in str(caught[0].message)
+
+    def test_harness_unknown_attribute_still_raises(self):
+        import repro.experiments.harness as harness
+
+        with pytest.raises(AttributeError):
+            harness.NO_SUCH_NAME

@@ -43,21 +43,29 @@ class TestRepositoryDocs:
         assert "REPRO_PLAN_CACHE_MAX_ENTRIES" in text
 
 
+def _run_checker(root: Path):
+    return subprocess.run(
+        [sys.executable, str(CHECKER), "--root", str(root)],
+        capture_output=True,
+        text=True,
+    )
+
+
+def _seed_minimal_repo(root: Path) -> None:
+    (root / "docs").mkdir()
+    (root / "src").mkdir()
+    (root / "benchmarks").mkdir()
+    (root / "README.md").write_text("[docs](docs/configuration.md)\n")
+    (root / "docs" / "configuration.md").write_text("`REPRO_DEMO_KNOB`\n")
+    (root / "src" / "mod.py").write_text('KNOB = "REPRO_DEMO_KNOB"\n')
+
+
 class TestCheckerCatchesProblems:
     def _run(self, root: Path):
-        return subprocess.run(
-            [sys.executable, str(CHECKER), "--root", str(root)],
-            capture_output=True,
-            text=True,
-        )
+        return _run_checker(root)
 
     def _seed_minimal_repo(self, root: Path) -> None:
-        (root / "docs").mkdir()
-        (root / "src").mkdir()
-        (root / "benchmarks").mkdir()
-        (root / "README.md").write_text("[docs](docs/configuration.md)\n")
-        (root / "docs" / "configuration.md").write_text("`REPRO_DEMO_KNOB`\n")
-        (root / "src" / "mod.py").write_text('KNOB = "REPRO_DEMO_KNOB"\n')
+        _seed_minimal_repo(root)
 
     def test_minimal_repo_passes(self, tmp_path):
         self._seed_minimal_repo(tmp_path)
@@ -104,3 +112,120 @@ class TestCheckerCatchesProblems:
         )
         proc = self._run(tmp_path)
         assert proc.returncode == 0, proc.stderr
+
+    def test_wildcard_family_mention_is_not_a_name(self, tmp_path):
+        """Prose like ``REPRO_SERVE_*`` ("the whole knob family") must not
+        half-match as an env-var name and trip the sync check."""
+        self._seed_minimal_repo(tmp_path)
+        (tmp_path / "src" / "extra.py").write_text(
+            '"""The REPRO_DEMO_* family of knobs."""\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+
+class TestCheckerDefaultsSync:
+    """Failure modes of the default-value sync check (check #3)."""
+
+    def _run(self, root: Path):
+        return _run_checker(root)
+
+    def _seed_minimal_repo(self, root: Path) -> None:
+        _seed_minimal_repo(root)
+
+    def _write_table_row(self, root: Path, default_cell: str) -> None:
+        (root / "docs" / "configuration.md").write_text(
+            "| Variable | Default | Meaning |\n"
+            "|---|---|---|\n"
+            f"| `REPRO_DEMO_KNOB` | {default_cell} | demo |\n"
+        )
+
+    def test_matching_string_literal_passes(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`quick`")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = environ.get("REPRO_DEMO_KNOB", "quick")\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_mismatched_literal_fails(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`slow`")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = environ.get("REPRO_DEMO_KNOB", "quick")\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "default mismatch for REPRO_DEMO_KNOB" in proc.stderr
+        assert "`quick`" in proc.stderr and "`slow`" in proc.stderr
+
+    def test_integer_default_compared(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`64`")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = _env_int("REPRO_DEMO_KNOB", 64)\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_constant_fallback_resolved_in_same_file(self, tmp_path):
+        """A read site falling back to an UPPER_CASE constant is compared
+        through the constant's literal assignment."""
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`8035`")
+        (tmp_path / "src" / "mod.py").write_text(
+            "DEFAULT_PORT = 8035\n"
+            'X = environ.get("REPRO_DEMO_KNOB", DEFAULT_PORT)\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_constant_fallback_mismatch_fails(self, tmp_path):
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`9000`")
+        (tmp_path / "src" / "mod.py").write_text(
+            "DEFAULT_PORT = 8035\n"
+            'X = environ.get("REPRO_DEMO_KNOB", DEFAULT_PORT)\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "default mismatch for REPRO_DEMO_KNOB" in proc.stderr
+
+    def test_prose_default_cell_fails_when_code_has_literal(self, tmp_path):
+        """A literal fallback in code with a prose Default cell is drift:
+        the table must carry the mechanical value."""
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "the quick profile")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = environ.get("REPRO_DEMO_KNOB", "quick")\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "default mismatch for REPRO_DEMO_KNOB" in proc.stderr
+
+    def test_empty_string_sentinel_exempt(self, tmp_path):
+        """``environ.get("REPRO_X", "")`` means "unset", not a default —
+        any prose cell is fine."""
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "unset")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = environ.get("REPRO_DEMO_KNOB", "")\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 0, proc.stderr
+
+    def test_inconsistent_code_defaults_fail(self, tmp_path):
+        """Two read sites disagreeing on the fallback is a bug even before
+        documentation enters the picture."""
+        self._seed_minimal_repo(tmp_path)
+        self._write_table_row(tmp_path, "`quick`")
+        (tmp_path / "src" / "mod.py").write_text(
+            'X = environ.get("REPRO_DEMO_KNOB", "quick")\n'
+        )
+        (tmp_path / "src" / "other.py").write_text(
+            'Y = environ.get("REPRO_DEMO_KNOB", "slow")\n'
+        )
+        proc = self._run(tmp_path)
+        assert proc.returncode == 1
+        assert "inconsistent defaults in code for REPRO_DEMO_KNOB" in proc.stderr

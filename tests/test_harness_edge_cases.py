@@ -5,7 +5,8 @@ from __future__ import annotations
 import math
 
 
-from repro.experiments.harness import MIN_MEASUREMENT_DURATION_S, ExperimentRunner, run_experiment
+from repro.core import MIN_MEASUREMENT_DURATION_S
+from repro.experiments.harness import ExperimentRunner, run_experiment
 from repro.runtime.model import RuntimeModel
 from repro.kernels.gemm import GemmProblem
 from repro.kernels.launch import plan_launch

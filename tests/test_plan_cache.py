@@ -32,9 +32,11 @@ from repro.experiments.plan import (
     build_plan,
     build_problem,
     build_workload_pattern,
+    clear_workload_pattern_memo,
     get_default_plan_cache,
     resolve_plan_cache,
     set_default_plan_cache,
+    workload_pattern_key,
 )
 from repro.experiments.sweep import (
     _process_worker_init,
@@ -387,6 +389,82 @@ class TestSweepPlanEquivalence:
         assert len(results) == 4
         assert cache.stats.builds == 1
         assert cache.stats.hits == 3
+
+
+# ------------------------------------------------------- pattern sharing
+
+
+class TestWorkloadPatternSharing:
+    @pytest.fixture(autouse=True)
+    def fresh_memo(self):
+        clear_workload_pattern_memo()
+        yield
+        clear_workload_pattern_memo()
+
+    def test_key_ignores_everything_but_the_workload(self, quiet_config):
+        config = quiet_config()
+        base = workload_pattern_key(config)
+        for overrides in (
+            {"gpu": "h100"},
+            {"instance_id": 3},
+            {"matrix_size": 256},
+            {"transpose_b": False},
+            {"seeds": 7},
+            {"iterations": 123},
+            {"label": "renamed"},
+        ):
+            assert workload_pattern_key(config.with_overrides(**overrides)) == base
+        for overrides in (
+            {"pattern_family": "sparsity", "pattern_params": {"sparsity": 0.5}},
+            {"pattern_params": {"std": 16.0}},
+            {"dtype": "fp32"},
+        ):
+            assert workload_pattern_key(config.with_overrides(**overrides)) != base
+
+    def test_cross_device_plans_share_one_pattern(self, quiet_config):
+        """Plans differing only in device reuse the workload's pattern object
+        instead of each constructing an identical one."""
+        plans = [
+            build_plan(quiet_config(gpu=gpu), cache=None)
+            for gpu in ("v100", "a100", "h100")
+        ]
+        assert len({plan.fingerprint for plan in plans}) == 3  # distinct plans
+        assert all(plan.pattern is plans[0].pattern for plan in plans)
+
+    def test_shared_false_builds_private_instances(self, quiet_config):
+        config = quiet_config()
+        shared = build_workload_pattern(config)
+        assert build_workload_pattern(config) is shared
+        private = build_workload_pattern(config, shared=False)
+        assert private is not shared
+        assert type(private) is type(shared)
+
+    def test_clear_drops_shared_patterns(self, quiet_config):
+        config = quiet_config()
+        before = build_workload_pattern(config)
+        clear_workload_pattern_memo()
+        assert build_workload_pattern(config) is not before
+
+    def test_sharing_does_not_change_results(self, quiet_config):
+        """Pattern sharing is pure reuse: results are bit-for-bit identical
+        with a shared and a private pattern object."""
+        config = quiet_config(seeds=2)
+        shared_run = run_experiment(config, None, None, plan_cache=None)
+        clear_workload_pattern_memo()
+        fresh_run = run_experiment(config, None, None, plan_cache=None)
+        assert shared_run.as_dict() == fresh_run.as_dict()
+
+    def test_memo_is_bounded(self, quiet_config):
+        import repro.experiments.plan as plan_module
+
+        for index in range(plan_module._PATTERN_MEMO_MAX_ENTRIES + 8):
+            build_workload_pattern(
+                quiet_config(pattern_params={"std": float(index + 1)})
+            )
+        assert (
+            len(plan_module._pattern_memo)
+            <= plan_module._PATTERN_MEMO_MAX_ENTRIES
+        )
 
 
 # ------------------------------------------------------ persistent workers

@@ -1,0 +1,500 @@
+"""Tests for the serving layer: service semantics, HTTP parsing, server loop.
+
+The HTTP client calls in the server tests run in an executor thread —
+blocking ``urlopen`` on the event-loop thread would deadlock against a
+server running on the same loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ServiceOverloadedError, ServingError
+from repro.experiments.harness import run_experiment
+from repro.serve.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from repro.serve.server import EstimationServer
+from repro.serve.service import EstimationService, ServiceConfig
+
+
+class CountingCompute:
+    """``run_configs`` stand-in that counts invocations and configurations."""
+
+    def __init__(self, fn=None):
+        from repro.experiments.sweep import run_configs
+
+        self.fn = fn if fn is not None else run_configs
+        self.calls = 0
+        self.configs_seen = 0
+
+    def __call__(self, configs, **kwargs):
+        self.calls += 1
+        self.configs_seen += len(configs)
+        return self.fn(configs, **kwargs)
+
+
+def nocache_service(compute=None, config=None) -> EstimationService:
+    """A service with every cache tier disabled, so compute counts are real."""
+    return EstimationService(
+        config if config is not None else ServiceConfig(batch_window_s=0.01),
+        cache=None,
+        activity_cache=None,
+        plan_cache=None,
+        compute=compute,
+    )
+
+
+class TestSingleFlight:
+    def test_concurrent_duplicates_compute_once(self, quiet_config):
+        config = quiet_config()
+        compute = CountingCompute()
+        service = nocache_service(compute)
+
+        async def scenario():
+            try:
+                return await asyncio.gather(
+                    *(service.submit(config) for _ in range(5))
+                )
+            finally:
+                await service.close()
+
+        results = asyncio.run(scenario())
+        assert compute.calls == 1
+        assert compute.configs_seen == 1
+        assert service.stats.requests == 5
+        assert service.stats.coalesced == 4
+        # Every waiter shares the one result object.
+        assert all(result is results[0] for result in results)
+        # ...and it is bit-for-bit what an uncached direct run produces.
+        direct = run_experiment(config, cache=None)
+        assert results[0].as_dict() == direct.as_dict()
+
+    def test_label_only_variants_coalesce_with_restamped_labels(self, quiet_config):
+        config_a = quiet_config(label="panel-a")
+        config_b = quiet_config(label="panel-b")
+        compute = CountingCompute()
+        service = nocache_service(compute)
+
+        async def scenario():
+            try:
+                return await asyncio.gather(
+                    service.submit(config_a), service.submit(config_b)
+                )
+            finally:
+                await service.close()
+
+        result_a, result_b = asyncio.run(scenario())
+        assert compute.calls == 1 and compute.configs_seen == 1
+        assert result_a is result_b  # labels are not part of the flight key
+        doc_a = EstimationService.render_result(config_a, result_a)
+        doc_b = EstimationService.render_result(config_b, result_b)
+        assert doc_a["config"]["label"] == "panel-a"
+        assert doc_b["config"]["label"] == "panel-b"
+        # Rendering b's document never relabeled the shared object, which
+        # still carries the label of the request that computed it.
+        assert result_a.as_dict()["config"]["label"] == "panel-a"
+
+    def test_sequential_requests_do_not_coalesce(self, quiet_config):
+        config = quiet_config()
+        compute = CountingCompute()
+        service = nocache_service(compute)
+
+        async def scenario():
+            try:
+                first = await service.submit(config)
+                second = await service.submit(config)
+                return first, second
+            finally:
+                await service.close()
+
+        first, second = asyncio.run(scenario())
+        # The flight finished before the second submit: two computations
+        # (caches are off), zero coalesced hits — but still equal results.
+        assert compute.calls == 2
+        assert service.stats.coalesced == 0
+        assert first.as_dict() == second.as_dict()
+
+
+class TestAdmission:
+    def test_second_distinct_request_is_rejected(self, quiet_config):
+        service = nocache_service(
+            config=ServiceConfig(max_pending=1, batch_window_s=0.5)
+        )
+
+        async def scenario():
+            first = asyncio.ensure_future(service.submit(quiet_config()))
+            await asyncio.sleep(0)  # let it register in flight
+            with pytest.raises(ServiceOverloadedError):
+                await service.submit(quiet_config(matrix_size=160))
+            # A duplicate of the in-flight request still coalesces: joining
+            # an existing future consumes no admission capacity.
+            duplicate = asyncio.ensure_future(service.submit(quiet_config()))
+            results = await asyncio.gather(first, duplicate)
+            await service.close()
+            return results
+
+        first, duplicate = asyncio.run(scenario())
+        assert first is duplicate
+        assert service.stats.rejected == 1
+        assert service.stats.coalesced == 1
+
+    def test_rejection_is_reported_in_stats_only(self, quiet_config):
+        service = nocache_service(
+            config=ServiceConfig(max_pending=1, batch_window_s=0.5)
+        )
+
+        async def scenario():
+            first = asyncio.ensure_future(service.submit(quiet_config()))
+            await asyncio.sleep(0)
+            for size in (160, 192):
+                with pytest.raises(ServiceOverloadedError):
+                    await service.submit(quiet_config(matrix_size=size))
+            await first
+            await service.close()
+
+        asyncio.run(scenario())
+        assert service.stats.requests == 3
+        assert service.stats.rejected == 2
+        assert service.stats.errors == 0
+
+
+class TestFailurePaths:
+    def test_compute_error_reaches_every_waiter(self, quiet_config):
+        def explode(configs, **kwargs):
+            raise RuntimeError("estimator fell over")
+
+        config = quiet_config()
+        service = nocache_service(compute=explode)
+
+        async def scenario():
+            results = await asyncio.gather(
+                *(service.submit(config) for _ in range(3)),
+                return_exceptions=True,
+            )
+            await service.close()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(results) == 3
+        assert all(isinstance(exc, RuntimeError) for exc in results)
+        assert service.stats.errors == 1  # one flight failed, not three
+        assert len(service._inflight) == 0  # failed key fully retired
+
+    def test_closed_service_rejects_submissions(self, quiet_config):
+        service = nocache_service()
+
+        async def scenario():
+            await service.close()
+            with pytest.raises(ServingError):
+                await service.submit(quiet_config())
+
+        asyncio.run(scenario())
+
+    def test_close_fails_pending_futures(self, quiet_config):
+        service = nocache_service(
+            config=ServiceConfig(batch_window_s=5.0)  # never drains in time
+        )
+
+        async def scenario():
+            pending = asyncio.ensure_future(service.submit(quiet_config()))
+            await asyncio.sleep(0)
+            await service.close()
+            with pytest.raises(ServingError):
+                await pending
+
+        asyncio.run(scenario())
+
+
+class TestDescribe:
+    def test_shape_and_counters(self, quiet_config):
+        from repro.cache.store import ActivityCache, ExperimentCache
+
+        cache = ExperimentCache()
+        activity_cache = ActivityCache()
+        service = EstimationService(
+            ServiceConfig(batch_window_s=0.01),
+            cache=cache,
+            activity_cache=activity_cache,
+            plan_cache=None,
+        )
+
+        async def scenario():
+            try:
+                await service.submit(quiet_config())
+                await service.submit(quiet_config())
+            finally:
+                await service.close()
+
+        asyncio.run(scenario())
+        doc = service.describe()
+        assert set(doc) == {"service", "pending", "config", "caches"}
+        assert doc["pending"] == 0
+        assert doc["service"]["requests"] == 2
+        assert doc["service"]["batches"] >= 1
+        assert doc["config"]["max_pending"] == 64
+        # Explicit (non-default) tiers are reported with live counters.
+        assert doc["caches"]["experiment"]["disk_backend"] is None
+        assert doc["caches"]["experiment"]["hits"] == 1  # second submit hit
+        assert "hit_rate" in doc["caches"]["activity"]
+        assert json.dumps(doc)  # the /stats body must be JSON-serializable
+
+
+class TestServiceConfig:
+    def test_validation(self):
+        with pytest.raises(ServingError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(ServingError):
+            ServiceConfig(batch_window_s=-0.1)
+        with pytest.raises(ServingError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ServingError):
+            ServiceConfig(workers=0)
+
+    def test_from_env_defaults_and_overrides(self):
+        config = ServiceConfig.from_env({})
+        assert (config.max_pending, config.max_batch) == (64, 16)
+        assert config.batch_window_s == pytest.approx(0.010)
+        assert (config.workers, config.backend) == (1, "auto")
+
+        config = ServiceConfig.from_env(
+            {
+                "REPRO_SERVE_MAX_PENDING": "8",
+                "REPRO_SERVE_BATCH_WINDOW_MS": "250",
+                "REPRO_SERVE_MAX_BATCH": "4",
+                "REPRO_SERVE_WORKERS": "2",
+                "REPRO_SERVE_BACKEND": "serial",
+            }
+        )
+        assert config.max_pending == 8
+        assert config.batch_window_s == pytest.approx(0.250)
+        assert (config.max_batch, config.workers, config.backend) == (4, 2, "serial")
+
+        with pytest.raises(ServingError):
+            ServiceConfig.from_env({"REPRO_SERVE_MAX_PENDING": "many"})
+        with pytest.raises(ServingError):
+            ServiceConfig.from_env({"REPRO_SERVE_BATCH_WINDOW_MS": "-5"})
+
+
+# --------------------------------------------------------------------- HTTP
+
+
+def _parse(payload: bytes) -> HttpRequest:
+    async def go() -> HttpRequest:
+        reader = asyncio.StreamReader()  # needs the running loop
+        reader.feed_data(payload)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestHttpParsing:
+    def test_request_with_body(self):
+        body = b'{"gpu": "a100"}'
+        request = _parse(
+            b"POST /estimate HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode("latin-1")
+            + body
+        )
+        assert request.method == "POST"
+        assert request.path == "/estimate"
+        assert request.headers["content-type"] == "application/json"
+        assert request.json() == {"gpu": "a100"}
+
+    def test_request_without_body(self):
+        request = _parse(b"GET /healthz HTTP/1.1\r\n\r\n")
+        assert (request.method, request.path, request.body) == ("GET", "/healthz", b"")
+
+    def test_malformed_request_line(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"NONSENSE\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_truncated_request(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"GET /healthz HTT")
+        assert excinfo.value.status == 400
+
+    def test_body_shorter_than_content_length(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(b"POST /estimate HTTP/1.1\r\nContent-Length: 50\r\n\r\n{}")
+        assert excinfo.value.status == 400
+
+    def test_oversized_content_length(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST /estimate HTTP/1.1\r\nContent-Length: 999999999\r\n\r\n"
+            )
+        assert excinfo.value.status == 413
+
+    def test_chunked_bodies_rejected(self):
+        with pytest.raises(HttpError) as excinfo:
+            _parse(
+                b"POST /estimate HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert excinfo.value.status == 400
+
+    def test_json_helper_errors(self):
+        with pytest.raises(HttpError) as excinfo:
+            HttpRequest("POST", "/estimate").json()
+        assert excinfo.value.status == 400
+        with pytest.raises(HttpError) as excinfo:
+            HttpRequest("POST", "/estimate", body=b"{nope").json()
+        assert excinfo.value.status == 400
+        assert HttpRequest("POST", "/x", body=b'{"a": 1}').json() == {"a": 1}
+
+    def test_render_response(self):
+        raw = render_response(200, {"b": 1, "a": 2})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        lines = head.decode("latin-1").split("\r\n")
+        assert lines[0] == "HTTP/1.1 200 OK"
+        assert f"Content-Length: {len(body)}" in lines
+        assert "Connection: close" in lines
+        assert body == b'{"a": 2, "b": 1}'  # sorted keys
+        assert render_response(429, {}).startswith(b"HTTP/1.1 429 Too Many Requests")
+
+
+# ------------------------------------------------------------------- server
+
+
+def _http_get(base: str, path: str) -> "tuple[int, dict]":
+    try:
+        with urllib.request.urlopen(f"{base}{path}", timeout=30) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def _http_post(base: str, path: str, body: dict) -> "tuple[int, dict]":
+    request = urllib.request.Request(
+        f"{base}{path}",
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+async def _client(call, *args):
+    """Run a blocking HTTP helper off the event-loop thread.
+
+    Calling urlopen directly on the loop thread would deadlock: the server
+    handling the request runs on this very loop.
+    """
+    return await asyncio.get_running_loop().run_in_executor(None, call, *args)
+
+
+def run_with_server(scenario, service=None):
+    """Boot a server on a free port, run ``scenario(base, server)``, shut down."""
+
+    async def main():
+        server = EstimationServer(service, port=0)
+        await server.start()
+        serve_task = asyncio.create_task(server.serve_until_stopped())
+        base = f"http://127.0.0.1:{server.port}"
+        try:
+            return await scenario(base, server)
+        finally:
+            server.stop()
+            await serve_task
+
+    return asyncio.run(main())
+
+
+class TestEstimationServer:
+    def test_routes_and_errors(self):
+        async def scenario(base, server):
+            assert await _client(_http_get, base, "/healthz") == (200, {"status": "ok"})
+            status, payload = await _client(_http_get, base, "/nowhere")
+            assert status == 404 and "error" in payload
+            status, payload = await _client(_http_get, base, "/estimate")
+            assert status == 405  # known path, wrong method
+            status, payload = await _client(_http_post, base, "/estimate", {"gpu": 42})
+            assert status == 400
+            status, payload = await _client(
+                _http_post, base, "/estimate", {"no_such_field": 1}
+            )
+            assert status == 400 and "no_such_field" in payload["error"]
+
+        run_with_server(scenario)
+
+    def test_estimate_and_stats_roundtrip(self, quiet_config):
+        service = nocache_service(CountingCompute())
+        # The wire document carries the estimator/telemetry knobs as nested
+        # mappings — describe() alone is the display subset and would let
+        # them fall back to server-side defaults.
+        config_doc = {
+            **quiet_config().describe(),
+            "include_process_variation": False,
+            "sampling": {"output_samples": 64},
+            "telemetry": {"noise_std_watts": 0.0, "drift_watts": 0.0},
+        }
+
+        async def scenario(base, server):
+            # Bare config document and {"config": ...} wrapper both work
+            # and produce the identical response.
+            status, bare = await _client(_http_post, base, "/estimate", config_doc)
+            assert status == 200
+            assert set(bare) == {"fingerprint", "result"}
+            status, wrapped = await _client(
+                _http_post, base, "/estimate", {"config": config_doc}
+            )
+            assert status == 200 and wrapped == bare
+
+            status, stats = await _client(_http_get, base, "/stats")
+            assert status == 200
+            assert stats["service"]["requests"] == 2
+            return bare
+
+        response = run_with_server(scenario, service)
+        direct = run_experiment(quiet_config(), cache=None)
+        assert response["result"]["mean_power_watts"] == pytest.approx(
+            direct.as_dict()["mean_power_watts"]
+        )
+
+    def test_http_429_when_overloaded(self, quiet_config):
+        service = nocache_service(
+            config=ServiceConfig(max_pending=1, batch_window_s=0.5)
+        )
+        first_doc = quiet_config().describe()
+        second_doc = quiet_config(matrix_size=160).describe()
+
+        async def scenario(base, server):
+            first = asyncio.ensure_future(
+                _client(_http_post, base, "/estimate", first_doc)
+            )
+            # Wait until the first request is registered in flight.
+            for _ in range(100):
+                if len(service._inflight) >= 1:
+                    break
+                await asyncio.sleep(0.01)
+            status, payload = await _client(_http_post, base, "/estimate", second_doc)
+            assert status == 429 and "error" in payload
+            status, _ = await first
+            assert status == 200
+
+        run_with_server(scenario, service)
+        assert service.stats.rejected == 1
+
+    def test_shutdown_endpoint_stops_server(self):
+        async def scenario(base, server):
+            status, payload = await _client(_http_post, base, "/shutdown", {})
+            assert (status, payload) == (200, {"status": "stopping"})
+            # The serve loop observes the stop event without outside help.
+            await asyncio.wait_for(server._stopping.wait(), timeout=5)
+
+        run_with_server(scenario)
