@@ -1,0 +1,54 @@
+"""Load ``repro.staticcheck``'s stdlib-only modules on a bare interpreter.
+
+The docs and lint CI jobs install nothing, and ``import repro`` executes
+``repro/__init__.py``, which imports numpy — so the repo scripts cannot
+simply ``from repro.staticcheck import walker``.  Instead this helper
+registers *stub* package objects for ``repro`` and ``repro.staticcheck``
+in ``sys.modules`` whose ``__path__`` points at the real source
+directories, then imports the requested submodule through the normal
+machinery.  Intra-package imports between the stdlib-only modules
+(``envscan`` importing ``walker``) resolve through the stubs too, and the
+package ``__init__`` files are never executed.
+
+Only :mod:`repro.staticcheck.walker` and :mod:`repro.staticcheck.envscan`
+are safe to load this way — they are the modules contractually kept free
+of third-party and intra-``repro`` imports.  If the real ``repro`` package
+is already imported (e.g. a test process with the package installed), the
+stubs are skipped and the genuine package serves the import.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+import types
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Modules this loader is allowed to serve; everything else in the package
+#: may import numpy-adjacent code and must go through a real install.
+_STDLIB_ONLY = ("walker", "envscan")
+
+_PACKAGE_DIRS = {
+    "repro": REPO_ROOT / "src" / "repro",
+    "repro.staticcheck": REPO_ROOT / "src" / "repro" / "staticcheck",
+}
+
+
+def load(name: str) -> types.ModuleType:
+    """Import ``repro.staticcheck.<name>`` without running ``repro/__init__``."""
+    if name not in _STDLIB_ONLY:
+        raise ValueError(
+            f"refusing to side-load repro.staticcheck.{name}: only "
+            f"{', '.join(_STDLIB_ONLY)} are stdlib-only"
+        )
+    full = f"repro.staticcheck.{name}"
+    if full in sys.modules:
+        return sys.modules[full]
+    for package, directory in _PACKAGE_DIRS.items():
+        if package not in sys.modules:
+            stub = types.ModuleType(package)
+            stub.__path__ = [str(directory)]
+            sys.modules[package] = stub
+    return importlib.import_module(full)

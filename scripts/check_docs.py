@@ -10,7 +10,7 @@ Three checks, any of which fails the build:
    before the filesystem check.
 
 2. **Environment-variable sync** — ``docs/configuration.md`` claims to be
-   the authoritative table of every ``REPRO_*`` knob.  This check greps
+   the authoritative table of every ``REPRO_*`` knob.  This check scans
    ``src/**/*.py`` and ``benchmarks/**/*.py`` for ``REPRO_[A-Z_]+`` names
    and fails if any is missing from the configuration page (undocumented
    knob) or documented there without appearing in the code (stale doc).
@@ -22,6 +22,11 @@ Three checks, any of which fails the build:
    table must carry the same value in backticks.  Knobs with sentinel
    fallbacks (empty string) or prose defaults (``unset``, ``calibrated``)
    are exempt — there is nothing mechanical to compare.
+
+The name and default extraction is shared with the ``env-registry`` pass
+of ``python -m repro.staticcheck`` (see
+:mod:`repro.staticcheck.envscan`); this script side-loads the stdlib-only
+modules so it still runs on a bare interpreter.
 
 Usage::
 
@@ -35,15 +40,19 @@ import re
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _staticcheck_bootstrap  # noqa: E402
+
+envscan = _staticcheck_bootstrap.load("envscan")
+walker = _staticcheck_bootstrap.load("walker")
+
 #: Markdown inline link: ``[text](target)``.  Targets with spaces are not
 #: used in this repo, which keeps the pattern simple.
 LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
-#: Environment-variable names (digits allowed, e.g. a hypothetical
-#: ``REPRO_TIER2_CACHE``); the trailing guard strips regex/prose artifacts
-#: like a dangling underscore, and the lookahead keeps wildcard prose such
-#: as ``REPRO_SERVE_*`` ("the whole family") from half-matching as a name.
-ENV_RE = re.compile(r"REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9](?![\w*])")
+#: Environment-variable names; see envscan.ENV_NAME_RE for the shape
+#: rationale (digit support, wildcard-prose lookahead).
+ENV_RE = envscan.ENV_NAME_RE
 
 #: Markdown files whose links are checked.
 LINKED_DOCS = ("README.md", "docs")
@@ -86,12 +95,11 @@ def check_env_sync(root: Path) -> list[str]:
     config_doc = root / CONFIG_DOC
     if not config_doc.is_file():
         return [f"missing {CONFIG_DOC} (the authoritative env-var reference)"]
-    documented = set(ENV_RE.findall(config_doc.read_text(encoding="utf-8")))
+    documented = envscan.env_names_in_text(config_doc.read_text(encoding="utf-8"))
 
     in_code: set[str] = set()
-    for tree in CODE_TREES:
-        for py_file in sorted((root / tree).rglob("*.py")):
-            in_code |= set(ENV_RE.findall(py_file.read_text(encoding="utf-8")))
+    for py_file in walker.iter_python_files(root, CODE_TREES):
+        in_code |= envscan.env_names_in_text(py_file.read_text(encoding="utf-8"))
 
     for name in sorted(in_code - documented):
         problems.append(
@@ -106,18 +114,6 @@ def check_env_sync(root: Path) -> list[str]:
     return problems
 
 
-#: A read site whose fallback is extractable: the env-var name followed by
-#: a quoted string, an integer, or an UPPER_CASE constant (resolved against
-#: literal assignments in the same file).
-DEFAULT_AT_READ_SITE_RE = re.compile(
-    r"\"(REPRO_[A-Z0-9][A-Z0-9_]*[A-Z0-9])\"\s*,\s*"
-    r"(?:\"(?P<string>[^\"]*)\"|(?P<int>\d+)|(?P<const>[A-Z][A-Z0-9_]+))"
-)
-
-#: ``NAME = <literal>`` module-constant assignment (for resolving the
-#: ``const`` branch above).
-CONST_ASSIGN_TEMPLATE = r"^\s*{name}\s*=\s*(?:\"(?P<string>[^\"]*)\"|(?P<int>\d+))\s*(?:#.*)?$"
-
 #: A table row of the configuration page: ``| `REPRO_X` | <default> | ...``.
 DOC_ROW_RE = re.compile(r"^\|\s*`(REPRO_[A-Z0-9_]+)`\s*\|\s*([^|]*)\|")
 
@@ -128,28 +124,15 @@ DOC_LITERAL_RE = re.compile(r"^`([^`]+)`$")
 def _code_defaults(root: Path) -> "dict[str, set[str]]":
     """Env-var name -> literal fallback values found at read sites."""
     defaults: "dict[str, set[str]]" = {}
-    for tree in CODE_TREES:
-        for py_file in sorted((root / tree).rglob("*.py")):
-            text = py_file.read_text(encoding="utf-8")
-            for match in DEFAULT_AT_READ_SITE_RE.finditer(text):
-                name = match.group(1)
-                if match.group("const"):
-                    assign = re.search(
-                        CONST_ASSIGN_TEMPLATE.format(name=re.escape(match.group("const"))),
-                        text,
-                        re.MULTILINE,
-                    )
-                    if assign is None:
-                        continue  # non-literal constant; nothing to compare
-                    value = assign.group("string") or assign.group("int")
-                else:
-                    value = (
-                        match.group("string")
-                        if match.group("string") is not None
-                        else match.group("int")
-                    )
-                if value:  # empty string is an "unset" sentinel, not a default
-                    defaults.setdefault(name, set()).add(value)
+    for py_file in walker.iter_python_files(root, CODE_TREES):
+        try:
+            tree = walker.parse_source(
+                py_file.read_text(encoding="utf-8"), filename=str(py_file)
+            )
+        except SyntaxError:
+            continue  # lint's job, not the doc gate's
+        for name, values in envscan.env_default_literals(tree).items():
+            defaults.setdefault(name, set()).update(values)
     return defaults
 
 

@@ -5,74 +5,42 @@ Runs ``ruff check .`` (the configuration lives in ``pyproject.toml``) when
 ruff is installed — this is what CI enforces.  In environments without ruff
 (e.g. air-gapped containers) it falls back to a minimal built-in pass that
 still catches the highest-value problems: syntax errors (via compilation)
-and unused imports.
+and unused imports.  The AST plumbing for the fallback is shared with
+``python -m repro.staticcheck`` (see :mod:`repro.staticcheck.walker`),
+side-loaded so the script still runs on a bare interpreter.
 
 Usage:  python scripts/lint.py [paths...]
 """
 
 from __future__ import annotations
 
-import ast
-import re
 import shutil
 import subprocess
 import sys
 from pathlib import Path
 
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import _staticcheck_bootstrap  # noqa: E402
+
+walker = _staticcheck_bootstrap.load("walker")
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_PATHS = ["src", "tests", "benchmarks", "examples", "scripts"]
-_IDENTIFIER = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
 
 
 def run_ruff(paths: list[str]) -> int:
     return subprocess.call(["ruff", "check", *paths], cwd=REPO_ROOT)
 
 
-def _used_names(tree: ast.AST) -> set[str]:
-    """Names referenced anywhere, including inside string annotations/docs.
-
-    String constants are scanned for identifier tokens so imports used only
-    in quoted annotations (``"Sequence[int] | None"``) do not come back as
-    false positives; this errs on the permissive side, which is the right
-    bias for a fallback linter.
-    """
-    used: set[str] = set()
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Name):
-            used.add(node.id)
-        elif isinstance(node, ast.Attribute):
-            used.add(node.attr)
-        elif isinstance(node, ast.Constant) and isinstance(node.value, str):
-            used.update(_IDENTIFIER.findall(node.value))
-    return used
-
-
-def _imported_bindings(tree: ast.AST) -> list[tuple[str, str, int]]:
-    """(bound name, display name, line) for every module-or-function import."""
-    bindings = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            for alias in node.names:
-                bound = alias.asname or alias.name.split(".")[0]
-                bindings.append((bound, alias.name, node.lineno))
-        elif isinstance(node, ast.ImportFrom):
-            for alias in node.names:
-                if alias.name == "*":
-                    continue
-                bound = alias.asname or alias.name
-                bindings.append((bound, alias.name, node.lineno))
-    return bindings
-
-
 def check_file(path: Path) -> list[str]:
     source = path.read_text()
     try:
-        tree = ast.parse(source, filename=str(path))
+        tree = walker.parse_source(source, filename=str(path))
     except SyntaxError as error:
         return [f"{path}:{error.lineno}: syntax error: {error.msg}"]
-    used = _used_names(tree)
+    used = walker.used_names(tree)
     problems = []
-    for bound, display, lineno in _imported_bindings(tree):
+    for bound, display, lineno in walker.imported_bindings(tree):
         if bound.startswith("_") or bound == "annotations":
             continue
         if bound not in used:
@@ -83,14 +51,8 @@ def check_file(path: Path) -> list[str]:
 def run_fallback(paths: list[str]) -> int:
     print("ruff not found; running built-in fallback (syntax + unused imports)")
     problems: list[str] = []
-    for root in paths:
-        target = REPO_ROOT / root
-        if target.is_file():
-            files = [target]
-        else:
-            files = sorted(target.rglob("*.py"))
-        for file in files:
-            problems.extend(check_file(file))
+    for file in walker.iter_python_files(REPO_ROOT, paths):
+        problems.extend(check_file(file))
     for problem in problems:
         print(problem)
     print(f"fallback lint: {len(problems)} problem(s)")

@@ -24,12 +24,20 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
+import threading
 import time
 import urllib.error
 import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Hard cap on the whole smoke run.  A server that never prints its banner
+#: would otherwise park ``readline()`` forever and hang CI until the job
+#: timeout; the watchdog kills the process instead, which unblocks every
+#: pipe read, and the failure path prints the captured server log.
+WATCHDOG_SECONDS = 300
 
 #: Small enough to finish in well under a second, large enough that the
 #: request does not complete before its duplicate arrives.
@@ -61,6 +69,16 @@ def get(base: str, path: str, timeout: float = 30.0) -> dict:
         return json.loads(response.read())
 
 
+def _dump_server_log(log_path: Path) -> None:
+    try:
+        log = log_path.read_text(errors="replace").strip()
+    except OSError:
+        log = ""
+    print("---- captured server log ----", file=sys.stderr)
+    print(log or "(empty)", file=sys.stderr)
+    print("---- end server log ----", file=sys.stderr)
+
+
 def main() -> int:
     env = dict(
         os.environ,
@@ -70,15 +88,42 @@ def main() -> int:
         # in flight long enough that its duplicate always coalesces.
         REPRO_SERVE_BATCH_WINDOW_MS="100",
     )
+    log_file = tempfile.NamedTemporaryFile(
+        prefix="serve-smoke-", suffix=".log", delete=False
+    )
+    log_path = Path(log_file.name)
+    timed_out = threading.Event()
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro.serve", "--port", "0"],
         stdout=subprocess.PIPE,
+        stderr=log_file,
         env=env,
         text=True,
     )
+
+    def _watchdog_fire() -> None:
+        timed_out.set()
+        proc.kill()
+
+    watchdog = threading.Timer(WATCHDOG_SECONDS, _watchdog_fire)
+    watchdog.daemon = True
+    watchdog.start()
     try:
         assert proc.stdout is not None
-        banner = json.loads(proc.stdout.readline())
+        banner_line = proc.stdout.readline()
+        if not banner_line:
+            reason = (
+                f"watchdog killed the server after {WATCHDOG_SECONDS}s"
+                if timed_out.is_set()
+                else (
+                    "server exited (code "
+                    f"{proc.wait(timeout=10)}) before printing its banner"
+                )
+            )
+            print(f"error: {reason}", file=sys.stderr)
+            _dump_server_log(log_path)
+            return 1
+        banner = json.loads(banner_line)
         base = banner["listening"]
         print(f"server up at {base} (pid {banner['pid']})")
 
@@ -112,6 +157,7 @@ def main() -> int:
             print("error: no coalesced hit after "
                   f"{COALESCE_ATTEMPTS} duplicate pairs", file=sys.stderr)
             print(json.dumps(stats, indent=2), file=sys.stderr)
+            _dump_server_log(log_path)
             return 1
         print("stats:", json.dumps(stats["service"]))
 
@@ -119,13 +165,26 @@ def main() -> int:
         code = proc.wait(timeout=30)
         if code != 0:
             print(f"error: server exited {code} after shutdown", file=sys.stderr)
+            _dump_server_log(log_path)
             return 1
         print("clean shutdown OK")
         return 0
+    except Exception as exc:  # noqa: BLE001  (any failure must surface the log)
+        reason = (
+            f"watchdog killed the server after {WATCHDOG_SECONDS}s"
+            if timed_out.is_set()
+            else f"smoke test failed: {exc!r}"
+        )
+        print(f"error: {reason}", file=sys.stderr)
+        _dump_server_log(log_path)
+        return 1
     finally:
+        watchdog.cancel()
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=10)
+        log_file.close()
+        log_path.unlink(missing_ok=True)
 
 
 if __name__ == "__main__":

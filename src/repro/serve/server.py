@@ -36,6 +36,7 @@ import os
 import signal
 from typing import Any
 
+from repro.cache.fingerprint import experiment_fingerprint
 from repro.errors import ReproError, ServiceOverloadedError
 from repro.experiments.config import ExperimentConfig
 from repro.serve.http import HttpError, HttpRequest, read_request, render_response
@@ -157,8 +158,6 @@ class EstimationServer:
             result = await self.service.submit(config)
         except ServiceOverloadedError as exc:
             raise HttpError(429, str(exc)) from exc
-        from repro.cache.fingerprint import experiment_fingerprint
-
         return 200, {
             "fingerprint": experiment_fingerprint(config),
             "result": self.service.render_result(config, result),

@@ -1,0 +1,111 @@
+"""repro.staticcheck: AST-based invariant checker for this repository.
+
+The test suite proves behaviour at the points it samples; the invariants
+that hold the system together — fingerprint purity, event-loop
+responsiveness, lock discipline, the env-var registry, the public API
+surface — are *structural* and decay through edits that every individual
+test still passes.  This package walks the source tree once, builds a
+shared symbol table, and runs repo-specific passes over it, reporting
+:class:`Finding` records with file:line precision and a fix hint.
+
+Run it as a tool::
+
+    python -m repro.staticcheck            # human-readable report
+    python -m repro.staticcheck --json     # stable machine-readable schema
+    python -m repro.staticcheck --list-rules
+
+or drive it programmatically::
+
+    from repro.staticcheck import run_staticcheck
+
+    report = run_staticcheck()
+    assert report.ok, [f.render() for f in report.findings]
+
+Known-benign findings live in ``staticcheck-baseline.json`` at the repo
+root (``--baseline`` to point elsewhere); every entry carries a mandatory
+``reason`` and stale entries fail the run so suppressions cannot outlive
+the code they excuse.  ``docs/staticcheck.md`` has the rule catalogue and
+the recipe for adding a pass.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.staticcheck.baseline import (
+    BASELINE_FILENAME,
+    Baseline,
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+)
+from repro.staticcheck.loader import Codebase, ModuleInfo, load_codebase
+from repro.staticcheck.model import SCHEMA_VERSION, Finding, Report
+from repro.staticcheck.registry import all_passes, get_pass, register_pass, run_passes
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BASELINE_FILENAME",
+    "Finding",
+    "Report",
+    "Codebase",
+    "ModuleInfo",
+    "Baseline",
+    "BaselineError",
+    "load_codebase",
+    "load_baseline",
+    "apply_baseline",
+    "register_pass",
+    "all_passes",
+    "get_pass",
+    "run_passes",
+    "run_staticcheck",
+]
+
+
+def run_staticcheck(
+    root: "Path | str | None" = None,
+    *,
+    rules: "list[str] | None" = None,
+    baseline_path: "Path | str | None" = None,
+) -> Report:
+    """Load the codebase under ``root`` and run the registered passes.
+
+    ``root`` defaults to the repository this package is installed from
+    (three parents up from this file: ``src/repro/staticcheck`` -> repo).
+    ``baseline_path`` defaults to ``<root>/staticcheck-baseline.json``
+    when that file exists; pass an explicit path to require it.
+    """
+    # Importing the passes package registers every pass; done lazily so
+    # callers embedding the framework can register their own set first.
+    import repro.staticcheck.passes  # noqa: F401
+
+    if root is None:
+        root = Path(__file__).resolve().parents[3]
+    root = Path(root)
+
+    codebase = load_codebase(root)
+    rule_ids, findings = run_passes(codebase, rules=rules)
+
+    if baseline_path is None:
+        candidate = root / BASELINE_FILENAME
+        baseline = load_baseline(candidate if candidate.is_file() else None)
+    else:
+        baseline = load_baseline(Path(baseline_path))
+    if rules is not None:
+        # A rule-filtered run must not report the other rules' baseline
+        # entries as stale.
+        baseline = Baseline(
+            path=baseline.path,
+            entries=[e for e in baseline.entries if e["rule"] in rule_ids],
+        )
+    new, suppressed, stale = apply_baseline(findings, baseline)
+
+    return Report(
+        root=str(root),
+        rules=rule_ids,
+        findings=new,
+        suppressed=suppressed,
+        stale_baseline=stale,
+        modules=len(codebase.modules),
+    )

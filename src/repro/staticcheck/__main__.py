@@ -1,0 +1,115 @@
+"""Command-line entry point: ``python -m repro.staticcheck``.
+
+Exit status is 0 when the run is clean (no non-baselined findings and no
+stale baseline entries), 1 otherwise, 2 for usage errors — so the CI job
+is exactly ``python -m repro.staticcheck`` with no wrapper script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.staticcheck import (
+    BASELINE_FILENAME,
+    BaselineError,
+    Report,
+    all_passes,
+    run_staticcheck,
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.staticcheck",
+        description="Run the repo-specific AST invariant checks.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=None,
+        help="repository root to analyze (default: the repo this package lives in)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the stable machine-readable report instead of text",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help=(
+            "baseline suppressions file (default: "
+            f"<root>/{BASELINE_FILENAME} when present)"
+        ),
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        dest="rules",
+        metavar="RULE",
+        help="run only this rule (repeatable; default: all registered rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+    return parser
+
+
+def _print_text(report: Report) -> None:
+    for finding in report.findings:
+        print(finding.render())
+    for entry in report.stale_baseline:
+        print(
+            f"{entry['file']}: [baseline] stale suppression for "
+            f"{entry['rule']} ({entry['detail']}): matches no finding — "
+            "remove the entry"
+        )
+    scope = f"{report.modules} modules, {len(report.rules)} rules"
+    if report.ok:
+        suffix = f", {len(report.suppressed)} baselined" if report.suppressed else ""
+        print(f"staticcheck: OK ({scope}{suffix})")
+    else:
+        print(
+            f"staticcheck: FAILED ({scope}): {len(report.findings)} finding(s), "
+            f"{len(report.stale_baseline)} stale baseline entr(y/ies)"
+        )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        import repro.staticcheck.passes  # noqa: F401  (registration)
+
+        for checker_pass in all_passes():
+            print(f"{checker_pass.rule}: {checker_pass.title}")
+        return 0
+
+    try:
+        report = run_staticcheck(
+            root=args.root, rules=args.rules, baseline_path=args.baseline
+        )
+    except BaselineError as exc:
+        print(f"staticcheck: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:  # unknown --rule
+        print(f"staticcheck: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=False))
+    else:
+        _print_text(report)
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

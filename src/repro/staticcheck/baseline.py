@@ -1,0 +1,94 @@
+"""Baseline suppressions: let the gate land green, then only get stricter.
+
+A baseline file records pre-existing findings that are judged genuinely
+benign, so the CI gate fails on *new* violations without demanding the
+world be fixed first.  The contract keeps baselines honest:
+
+* every entry carries a non-empty ``reason`` — a suppression nobody can
+  justify is not allowed to exist;
+* entries match on ``(rule, file, detail)`` — never line numbers, so
+  unrelated edits cannot silently re-arm or orphan a suppression;
+* an entry that matches nothing is **stale** and fails the run: the
+  baseline can only shrink as violations get fixed.
+
+File format (``staticcheck-baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "...", "file": "...", "detail": "...", "reason": "why this is benign"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.staticcheck.model import Finding
+
+__all__ = ["BASELINE_FILENAME", "BaselineError", "Baseline", "load_baseline", "apply_baseline"]
+
+#: Default baseline file name, looked up at the analyzed root.
+BASELINE_FILENAME = "staticcheck-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A malformed baseline file (bad JSON, missing fields, empty reason)."""
+
+
+@dataclass
+class Baseline:
+    """Parsed baseline entries, keyed for matching."""
+
+    path: "Path | None"
+    entries: "list[dict[str, str]]"
+
+    @property
+    def keys(self) -> "set[tuple[str, str, str]]":
+        return {(e["rule"], e["file"], e["detail"]) for e in self.entries}
+
+
+def load_baseline(path: "str | Path | None") -> Baseline:
+    """Load and validate a baseline file (``None``/missing -> empty)."""
+    if path is None:
+        return Baseline(path=None, entries=[])
+    path = Path(path)
+    if not path.exists():
+        return Baseline(path=path, entries=[])
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(document, dict) or not isinstance(document.get("entries"), list):
+        raise BaselineError(f'{path}: baseline must be {{"version": 1, "entries": [...]}}')
+    entries: "list[dict[str, str]]" = []
+    for index, entry in enumerate(document["entries"]):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"{path}: entry {index} is not an object")
+        missing = [key for key in ("rule", "file", "detail", "reason") if not entry.get(key)]
+        if missing:
+            raise BaselineError(
+                f"{path}: entry {index} is missing {', '.join(missing)} — every "
+                "suppression must name its finding and justify itself"
+            )
+        entries.append({key: str(entry[key]) for key in ("rule", "file", "detail", "reason")})
+    return Baseline(path=path, entries=entries)
+
+
+def apply_baseline(
+    findings: "list[Finding]", baseline: Baseline
+) -> "tuple[list[Finding], list[Finding], list[dict[str, str]]]":
+    """Split findings into (new, suppressed) and report stale entries."""
+    keys = baseline.keys
+    new = [f for f in findings if f.baseline_key not in keys]
+    suppressed = [f for f in findings if f.baseline_key in keys]
+    matched = {f.baseline_key for f in suppressed}
+    stale = [
+        entry
+        for entry in baseline.entries
+        if (entry["rule"], entry["file"], entry["detail"]) not in matched
+    ]
+    return new, suppressed, stale

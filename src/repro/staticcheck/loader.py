@@ -1,0 +1,132 @@
+"""Codebase loader: parse the repo once, share the ASTs across passes.
+
+Every pass consumes the same :class:`Codebase`: the parsed modules (path,
+dotted name, AST, source), a symbol table of function definitions keyed by
+qualified name, and per-module import-alias maps.  Loading is strictly
+syntactic — target code is never imported, so the checker can analyze a
+tree that does not have its dependencies installed, and seeded-violation
+fixtures in tests can mirror the real package layout without shadowing it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator
+
+from repro.staticcheck.walker import import_aliases, iter_python_files
+
+__all__ = ["SOURCE_TREES", "ModuleInfo", "FunctionInfo", "Codebase", "load_codebase"]
+
+#: Trees scanned relative to the repo root.  ``src`` holds the package;
+#: ``benchmarks`` is included because its env-var reads fall under the
+#: same registry contract as the package's (mirroring the docs gate).
+SOURCE_TREES = ("src", "benchmarks")
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file."""
+
+    #: absolute path
+    path: Path
+    #: repo-relative posix path (``src/repro/cache/store.py``)
+    relpath: str
+    #: dotted module name (``repro.cache.store``; benchmark files get their
+    #: bare stem since they are scripts, not package members)
+    name: str
+    tree: ast.Module
+    source: str
+    #: local name -> canonical dotted import target
+    aliases: "dict[str, str]" = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function (or method) definition in the codebase."""
+
+    #: ``module.qualname`` (``repro.cache.store.JsonDiskCache.get``)
+    qualname: str
+    module: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+
+
+@dataclass
+class Codebase:
+    """Parsed modules plus the lookup tables every pass shares."""
+
+    root: Path
+    modules: "list[ModuleInfo]"
+    by_name: "dict[str, ModuleInfo]" = field(default_factory=dict)
+    #: qualified function name -> definition
+    functions: "dict[str, FunctionInfo]" = field(default_factory=dict)
+
+    def module(self, name: str) -> "ModuleInfo | None":
+        return self.by_name.get(name)
+
+    def iter_modules(self, prefix: str = "") -> "Iterator[ModuleInfo]":
+        for info in self.modules:
+            if not prefix or info.name == prefix or info.name.startswith(prefix + "."):
+                yield info
+
+    def has_module(self, name: str) -> bool:
+        return name in self.by_name
+
+
+def _module_name(path: Path, root: Path) -> str:
+    """Dotted module name for a file under ``root/src``; stem otherwise."""
+    try:
+        relative = path.relative_to(root / "src")
+    except ValueError:
+        return path.stem
+    parts = list(relative.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    return ".".join(parts) if parts else path.stem
+
+
+def _collect_functions(info: ModuleInfo, table: "dict[str, FunctionInfo]") -> None:
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}.{child.name}" if prefix else child.name
+                table[f"{info.name}.{qualname}"] = FunctionInfo(
+                    qualname=f"{info.name}.{qualname}", module=info.name, node=child
+                )
+                visit(child, qualname)
+            elif isinstance(child, ast.ClassDef):
+                visit(child, f"{prefix}.{child.name}" if prefix else child.name)
+
+    visit(info.tree, "")
+
+
+def load_codebase(root: "str | Path", trees: "tuple[str, ...]" = SOURCE_TREES) -> Codebase:
+    """Parse every Python file under ``root``'s source trees.
+
+    Files that fail to parse are skipped (the lint gate owns syntax
+    errors; a half-written file must not take the whole checker down).
+    """
+    root = Path(root).resolve()
+    modules: "list[ModuleInfo]" = []
+    for path in iter_python_files(root, trees):
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError:
+            continue
+        modules.append(
+            ModuleInfo(
+                path=path,
+                relpath=path.relative_to(root).as_posix(),
+                name=_module_name(path, root),
+                tree=tree,
+                source=source,
+                aliases=import_aliases(tree),
+            )
+        )
+    codebase = Codebase(root=root, modules=modules)
+    for info in modules:
+        codebase.by_name[info.name] = info
+        _collect_functions(info, codebase.functions)
+    return codebase

@@ -1,0 +1,106 @@
+"""Finding records and the report produced by a checker run.
+
+A :class:`Finding` pins one invariant violation to ``file:line`` with a
+rule id, a human message and a fix hint.  Its *baseline key* deliberately
+excludes the line number: baselined findings must survive unrelated edits
+shifting code around, so suppression matches on ``rule``, ``file`` and a
+per-finding stable ``detail`` (a qualified function name, an attribute
+path, an env-var name — whatever identifies the violation within the
+file) instead.
+
+The JSON shapes emitted by :meth:`Finding.as_dict` and
+:meth:`Report.as_dict` are a stable schema (``SCHEMA_VERSION``) so future
+tooling can diff findings across commits; add fields, never rename or
+remove them, and bump the version on any breaking change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SCHEMA_VERSION", "Finding", "Report"]
+
+#: Version of the JSON document ``python -m repro.staticcheck --json``
+#: emits.  Bump on any backwards-incompatible change to the field layout.
+SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One invariant violation, pinned to a file and line."""
+
+    #: rule id (``fingerprint-purity``, ``async-blocking``, ...)
+    rule: str
+    #: repo-relative posix path of the offending file
+    file: str
+    #: 1-indexed line of the violation
+    line: int
+    #: one-sentence statement of what is wrong
+    message: str
+    #: stable identifier of the violation *within* the file (function
+    #: qualname, attribute path, env-var name ...); part of the baseline key
+    detail: str
+    #: how to fix it (or how to suppress it when genuinely benign)
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> "tuple[str, str, str]":
+        """The (rule, file, detail) triple a baseline entry suppresses."""
+        return (self.rule, self.file, self.detail)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "rule": self.rule,
+            "file": self.file,
+            "line": self.line,
+            "message": self.message,
+            "detail": self.detail,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        text = f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+
+@dataclass
+class Report:
+    """Everything one checker run produced, ready to print or serialize."""
+
+    #: repo root the run analyzed (absolute path, as given)
+    root: str
+    #: rule ids that actually ran, sorted
+    rules: "list[str]"
+    #: findings *not* suppressed by the baseline, sorted (file, line, rule)
+    findings: "list[Finding]"
+    #: findings matched (and silenced) by baseline entries
+    suppressed: "list[Finding]" = field(default_factory=list)
+    #: baseline entries that matched nothing — stale suppressions are
+    #: failures too, so the baseline can only shrink over time
+    stale_baseline: "list[dict[str, str]]" = field(default_factory=list)
+    #: modules the loader parsed
+    modules: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings and not self.stale_baseline
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "root": self.root,
+            "rules": list(self.rules),
+            "modules": self.modules,
+            "counts": {
+                "findings": len(self.findings),
+                "suppressed": len(self.suppressed),
+                "stale_baseline": len(self.stale_baseline),
+            },
+            "findings": [finding.as_dict() for finding in self.findings],
+            "suppressed": [finding.as_dict() for finding in self.suppressed],
+            "stale_baseline": list(self.stale_baseline),
+            "ok": self.ok,
+        }

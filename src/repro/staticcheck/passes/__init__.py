@@ -1,0 +1,29 @@
+"""The repo-specific checker passes.
+
+Importing this package registers every pass with
+:mod:`repro.staticcheck.registry`; the CLI and tests import it for that
+side effect.  One module per rule:
+
+========================  ====================================================
+``fingerprint-purity``    functions reachable from the fingerprint entry
+                          points must be pure (no env/time/RNG reads)
+``async-blocking``        ``repro.serve`` coroutines must never call known
+                          blocking functions on the event loop
+``lock-discipline``       attributes of lock-holding classes must not be
+                          written both inside and outside the lock
+``env-registry``          every environment read uses a documented
+                          ``REPRO_*`` name with an extractable default
+``api-drift``             ``__all__`` lists, the lazy-submodule map and the
+                          ``repro.api`` façade stay mutually consistent
+========================  ====================================================
+"""
+
+from repro.staticcheck.passes import (  # noqa: F401  (imported for registration)
+    blocking,
+    envvars,
+    exports,
+    locks,
+    purity,
+)
+
+__all__ = ["purity", "blocking", "locks", "envvars", "exports"]

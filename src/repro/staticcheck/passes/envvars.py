@@ -1,0 +1,137 @@
+"""``env-registry``: every environment read is a documented ``REPRO_*`` knob.
+
+``docs/configuration.md`` claims to be the authoritative table of every
+knob.  The docs gate already diffs *names and defaults* between code and
+table; this pass closes the remaining gaps at the read sites themselves:
+
+* the variable name must resolve statically — a string literal, a
+  same-module UPPER_CASE constant, or a parameter of a reader-helper
+  function (``_env_int(name, ...)``) whose call sites then carry the
+  literal; anything else is unauditable;
+* the resolved name must belong to the ``REPRO_*`` namespace (no stray
+  ``MY_DEBUG`` switches bypassing the registry);
+* the name must appear in ``docs/configuration.md``;
+* the fallback must be mechanically extractable: a literal, a resolvable
+  constant, or the ``""``/absent "unset" sentinel.  Subscript reads
+  (``os.environ["X"]``) have no fallback and are flagged outright.
+
+Shared extraction lives in :mod:`repro.staticcheck.envscan`, the same
+module ``scripts/check_docs.py`` drives — one parser, two gates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.staticcheck.envscan import ENV_NAME_RE, env_names_in_text, environ_read_sites
+from repro.staticcheck.loader import Codebase
+from repro.staticcheck.model import Finding
+from repro.staticcheck.registry import register_pass
+
+__all__ = ["CONFIG_DOC", "check_env_registry"]
+
+#: Where every knob must be documented, relative to the repo root.
+CONFIG_DOC = Path("docs") / "configuration.md"
+
+
+@register_pass(
+    "env-registry",
+    "environment reads use documented REPRO_* names with extractable defaults",
+)
+def check_env_registry(codebase: Codebase) -> "list[Finding]":
+    config_doc = codebase.root / CONFIG_DOC
+    documented = (
+        env_names_in_text(config_doc.read_text(encoding="utf-8"))
+        if config_doc.is_file()
+        else set()
+    )
+
+    findings: "list[Finding]" = []
+    for info in codebase.modules:
+        for site in environ_read_sites(info.tree):
+            if site.name_source == "parameter":
+                # Reader helper (``_env_int(name, fallback)``): its call
+                # sites carry the literal names and are checked there.
+                continue
+            if site.name is None:
+                findings.append(
+                    Finding(
+                        rule="env-registry",
+                        file=info.relpath,
+                        line=site.lineno,
+                        message=(
+                            "environment read with a name that does not "
+                            "resolve statically (not a literal or a "
+                            "same-module constant)"
+                        ),
+                        detail=f"unresolved:{site.lineno}",
+                        hint=(
+                            "name the variable with a string literal or a "
+                            'module-level NAME = "REPRO_..." constant'
+                        ),
+                    )
+                )
+                continue
+            if not ENV_NAME_RE.fullmatch(site.name):
+                findings.append(
+                    Finding(
+                        rule="env-registry",
+                        file=info.relpath,
+                        line=site.lineno,
+                        message=(
+                            f"environment read of {site.name!r} outside the "
+                            "REPRO_* namespace"
+                        ),
+                        detail=site.name,
+                        hint="rename the knob into the REPRO_* family",
+                    )
+                )
+                continue
+            if site.name not in documented:
+                findings.append(
+                    Finding(
+                        rule="env-registry",
+                        file=info.relpath,
+                        line=site.lineno,
+                        message=(
+                            f"{site.name} is read here but missing from "
+                            f"{CONFIG_DOC.as_posix()}"
+                        ),
+                        detail=f"undocumented:{site.name}",
+                        hint=f"add a table row for {site.name} (name, default, effect)",
+                    )
+                )
+            if site.kind == "subscript":
+                findings.append(
+                    Finding(
+                        rule="env-registry",
+                        file=info.relpath,
+                        line=site.lineno,
+                        message=(
+                            f"os.environ[{site.name!r}] subscript read: no "
+                            "fallback, raises KeyError when unset"
+                        ),
+                        detail=f"subscript:{site.name}",
+                        hint='use environ.get with an explicit default (or "" sentinel)',
+                    )
+                )
+            elif not site.default_extractable:
+                findings.append(
+                    Finding(
+                        rule="env-registry",
+                        file=info.relpath,
+                        line=site.lineno,
+                        message=(
+                            f"{site.name} fallback is not mechanically "
+                            "extractable (not a literal, constant, or "
+                            "unset sentinel), so the docs default cannot "
+                            "be verified"
+                        ),
+                        detail=f"default:{site.name}",
+                        hint=(
+                            "spell the fallback as a literal or UPPER_CASE "
+                            "constant at the read site"
+                        ),
+                    )
+                )
+    return findings

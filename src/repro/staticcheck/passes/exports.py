@@ -1,0 +1,289 @@
+"""``api-drift``: the public surface the docs promise actually resolves.
+
+Three artefacts describe the public API and nothing ties them together at
+runtime until an unlucky ``from repro import X`` fails in user code:
+
+* ``__all__`` lists scattered across the package;
+* the lazy-submodule map ``_LAZY_SUBMODULES`` in ``repro/__init__.py``
+  (names served by module ``__getattr__``, invisible to a naive
+  name-resolution check);
+* the ``repro.api`` façade, whose re-exports must keep resolving as the
+  underlying modules move.
+
+This pass checks, for every module that declares ``__all__``:
+
+* ``__all__`` is a statically-readable list/tuple of strings with no
+  duplicates;
+* every exported name is bound at module level — or, for the package
+  root, served by the lazy map;
+
+and for the package root specifically:
+
+* every lazy entry names a real submodule, appears in ``__all__``, and is
+  not shadowed by an eager module-level binding (a shadowed entry means
+  ``__getattr__`` never fires and the "lazy" import went eager silently);
+
+and for the two façade modules (``repro`` and ``repro.api``):
+
+* every ``from repro.x import name`` resolves in the source module —
+  against its bindings, its lazy map, or its direct submodules.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.loader import Codebase, ModuleInfo
+from repro.staticcheck.model import Finding
+from repro.staticcheck.registry import register_pass
+from repro.staticcheck.walker import module_bindings
+
+__all__ = ["ROOT_PACKAGE", "FACADE_MODULES", "check_exports"]
+
+#: The package whose ``__init__`` carries the lazy-submodule map.
+ROOT_PACKAGE = "repro"
+
+#: Modules whose ``from repro... import`` statements must resolve.
+FACADE_MODULES = ("repro", "repro.api")
+
+
+def _literal_names(node: ast.expr) -> "list[tuple[str, int]] | None":
+    """String elements of a list/tuple literal, or None if not static."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: "list[tuple[str, int]]" = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant) and isinstance(element.value, str)):
+            return None
+        out.append((element.value, element.lineno))
+    return out
+
+
+def _module_level_list(info: ModuleInfo, name: str) -> "tuple[list[tuple[str, int]] | None, int | None]":
+    """Statically-readable elements of a module-level ``name = [...]``.
+
+    Returns ``(elements, line_of_assignment)``; ``(None, line)`` means the
+    assignment exists but is not a literal list of strings, ``(None, None)``
+    that there is no such assignment.
+    """
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                return _literal_names(node.value), node.lineno
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name) and node.target.id == name and node.value is not None:
+                return _literal_names(node.value), node.lineno
+    return None, None
+
+
+def _direct_submodules(codebase: Codebase, package: str) -> "set[str]":
+    prefix = package + "."
+    return {
+        name[len(prefix):]
+        for name in codebase.by_name
+        if name.startswith(prefix) and "." not in name[len(prefix):]
+    }
+
+
+def _eager_bindings(info: ModuleInfo) -> "set[str]":
+    return module_bindings(info.tree)
+
+
+def _check_all_list(
+    codebase: Codebase, info: ModuleInfo, lazy: "set[str]"
+) -> "list[Finding]":
+    names, line = _module_level_list(info, "__all__")
+    if line is None:
+        return []
+    if names is None:
+        return [
+            Finding(
+                rule="api-drift",
+                file=info.relpath,
+                line=line,
+                message=f"{info.name}.__all__ is not a literal list of strings",
+                detail=f"{info.name}:__all__:non-literal",
+                hint="spell __all__ as a plain list of string literals",
+            )
+        ]
+
+    findings: "list[Finding]" = []
+    bindings = _eager_bindings(info)
+    submodules = _direct_submodules(codebase, info.name)
+    seen: "set[str]" = set()
+    for name, name_line in names:
+        if name in seen:
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=name_line,
+                    message=f"{info.name}.__all__ lists {name!r} more than once",
+                    detail=f"{info.name}:__all__:duplicate:{name}",
+                    hint="remove the duplicate entry",
+                )
+            )
+            continue
+        seen.add(name)
+        if name in bindings or name in lazy or name in submodules:
+            continue
+        findings.append(
+            Finding(
+                rule="api-drift",
+                file=info.relpath,
+                line=name_line,
+                message=(
+                    f"{info.name}.__all__ exports {name!r} but nothing binds "
+                    "that name at module level"
+                ),
+                detail=f"{info.name}:__all__:{name}",
+                hint=(
+                    "bind the name (import/def/assignment) or drop it from "
+                    "__all__; lazy names must be in the lazy-submodule map"
+                ),
+            )
+        )
+    return findings
+
+
+def _check_lazy_map(codebase: Codebase, info: ModuleInfo) -> "list[Finding]":
+    entries, line = _module_level_list(info, "_LAZY_SUBMODULES")
+    if line is None:
+        return []
+    if entries is None:
+        return [
+            Finding(
+                rule="api-drift",
+                file=info.relpath,
+                line=line,
+                message=f"{info.name}._LAZY_SUBMODULES is not a literal tuple of strings",
+                detail=f"{info.name}:_LAZY_SUBMODULES:non-literal",
+                hint="spell the lazy map as a plain tuple of string literals",
+            )
+        ]
+
+    findings: "list[Finding]" = []
+    all_names, _ = _module_level_list(info, "__all__")
+    exported = {name for name, _ in all_names} if all_names else set()
+    bindings = _eager_bindings(info)
+    for name, name_line in entries:
+        if not codebase.has_module(f"{info.name}.{name}"):
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=name_line,
+                    message=(
+                        f"lazy submodule {name!r} has no matching module "
+                        f"{info.name}.{name}"
+                    ),
+                    detail=f"{info.name}:lazy:missing-module:{name}",
+                    hint="create the submodule or drop the lazy entry",
+                )
+            )
+        if all_names is not None and name not in exported:
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=name_line,
+                    message=(
+                        f"lazy submodule {name!r} is served by __getattr__ "
+                        "but missing from __all__"
+                    ),
+                    detail=f"{info.name}:lazy:unexported:{name}",
+                    hint="add the submodule name to __all__",
+                )
+            )
+        if name in bindings:
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=name_line,
+                    message=(
+                        f"lazy submodule {name!r} is shadowed by an eager "
+                        "module-level binding, so __getattr__ never fires"
+                    ),
+                    detail=f"{info.name}:lazy:shadowed:{name}",
+                    hint="remove the eager binding or the lazy entry",
+                )
+            )
+    return findings
+
+
+def _lazy_entries(codebase: Codebase, module_name: str) -> "set[str]":
+    info = codebase.module(module_name)
+    if info is None:
+        return set()
+    entries, _ = _module_level_list(info, "_LAZY_SUBMODULES")
+    return {name for name, _ in entries} if entries else set()
+
+
+def _check_facade_imports(codebase: Codebase, info: ModuleInfo) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ImportFrom) or node.level:
+            continue
+        source = node.module
+        if source is None or not (
+            source == ROOT_PACKAGE or source.startswith(ROOT_PACKAGE + ".")
+        ):
+            continue
+        source_info = codebase.module(source)
+        if source_info is None:
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=node.lineno,
+                    message=f"{info.name} imports from {source}, which does not exist",
+                    detail=f"{info.name}:from:{source}",
+                    hint="fix the module path",
+                )
+            )
+            continue
+        resolvable = (
+            _eager_bindings(source_info)
+            | _lazy_entries(codebase, source)
+            | _direct_submodules(codebase, source)
+        )
+        for alias in node.names:
+            if alias.name == "*" or alias.name in resolvable:
+                continue
+            findings.append(
+                Finding(
+                    rule="api-drift",
+                    file=info.relpath,
+                    line=node.lineno,
+                    message=(
+                        f"{info.name} imports {alias.name!r} from {source}, "
+                        "which does not bind that name"
+                    ),
+                    detail=f"{info.name}:from:{source}:{alias.name}",
+                    hint="export the name from the source module or fix the import",
+                )
+            )
+    return findings
+
+
+@register_pass(
+    "api-drift",
+    "__all__ lists, the lazy-submodule map and the repro.api façade stay "
+    "mutually consistent",
+)
+def check_exports(codebase: Codebase) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    root = codebase.module(ROOT_PACKAGE)
+    root_lazy = _lazy_entries(codebase, ROOT_PACKAGE)
+    for info in codebase.iter_modules(ROOT_PACKAGE):
+        lazy = root_lazy if info.name == ROOT_PACKAGE else set()
+        findings.extend(_check_all_list(codebase, info, lazy))
+    if root is not None:
+        findings.extend(_check_lazy_map(codebase, root))
+    for name in FACADE_MODULES:
+        info = codebase.module(name)
+        if info is not None:
+            findings.extend(_check_facade_imports(codebase, info))
+    return findings

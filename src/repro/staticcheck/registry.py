@@ -1,0 +1,74 @@
+"""Pass registry: how rules plug into the checker.
+
+A pass is a callable taking a :class:`~repro.staticcheck.loader.Codebase`
+and returning findings, registered under a rule id with
+:func:`register_pass`.  The CLI runs every registered pass by default;
+``--rule`` narrows the run.  Adding a rule is: write the visitor, decorate
+it, document it in ``docs/staticcheck.md``, and add a seeded-violation
+fixture to ``tests/test_staticcheck.py`` proving it fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.staticcheck.loader import Codebase
+from repro.staticcheck.model import Finding
+
+__all__ = ["CheckerPass", "register_pass", "all_passes", "get_pass", "run_passes"]
+
+
+@dataclass(frozen=True)
+class CheckerPass:
+    """One registered rule."""
+
+    rule: str
+    title: str
+    run: "Callable[[Codebase], list[Finding]]"
+
+
+_REGISTRY: "dict[str, CheckerPass]" = {}
+
+
+def register_pass(
+    rule: str, title: str
+) -> "Callable[[Callable[[Codebase], list[Finding]]], Callable[[Codebase], list[Finding]]]":
+    """Register ``func`` as the pass implementing ``rule``."""
+
+    def decorator(func: "Callable[[Codebase], list[Finding]]"):
+        if rule in _REGISTRY:
+            raise ValueError(f"pass {rule!r} is already registered")
+        _REGISTRY[rule] = CheckerPass(rule=rule, title=title, run=func)
+        return func
+
+    return decorator
+
+
+def all_passes() -> "list[CheckerPass]":
+    """Every registered pass, in rule-id order."""
+    return [_REGISTRY[rule] for rule in sorted(_REGISTRY)]
+
+
+def get_pass(rule: str) -> CheckerPass:
+    try:
+        return _REGISTRY[rule]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ValueError(f"unknown rule {rule!r}; registered rules: {known}") from None
+
+
+def run_passes(
+    codebase: Codebase, rules: "Iterable[str] | None" = None
+) -> "tuple[list[str], list[Finding]]":
+    """Run the selected (default: all) passes over ``codebase``.
+
+    Returns the rule ids that ran and the combined findings sorted by
+    (file, line, rule) so output and JSON are deterministic.
+    """
+    selected = all_passes() if rules is None else [get_pass(rule) for rule in sorted(set(rules))]
+    findings: "list[Finding]" = []
+    for checker_pass in selected:
+        findings.extend(checker_pass.run(codebase))
+    findings.sort(key=lambda f: (f.file, f.line, f.rule, f.detail))
+    return [p.rule for p in selected], findings
