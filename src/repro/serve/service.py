@@ -21,6 +21,9 @@ window (``batch_window_s``), then drain through one
 its deduplication, caching and execution backends.  A batch computes in a
 single worker thread (``run_configs`` manages its own pool), keeping the
 event loop free to accept, coalesce and reject while estimation runs.
+Batch failures are *isolated*: when a batch raises, every configuration in
+it is re-run individually, so one poisoned configuration fails only its own
+future instead of rejecting every request drained into the batch.
 
 **Bounded admission.**  At most ``max_pending`` distinct keys may be
 in flight; the next new key is rejected with
@@ -115,10 +118,15 @@ class ServiceStats:
     coalesced: int = 0
     #: requests rejected by admission control
     rejected: int = 0
-    #: requests whose computation raised
+    #: distinct configurations whose computation ultimately raised (after
+    #: batch-failure isolation re-ran them individually)
     errors: int = 0
     #: ``run_configs`` batches drained
     batches: int = 0
+    #: configurations re-run individually because their batch failed —
+    #: survivors of a poisoned batch complete instead of inheriting the
+    #: poison's exception
+    isolated_retries: int = 0
     #: cumulative sweep-runner accounting across all batches
     run: RunStats = field(default_factory=RunStats)
 
@@ -129,6 +137,7 @@ class ServiceStats:
             "rejected": self.rejected,
             "errors": self.errors,
             "batches": self.batches,
+            "isolated_retries": self.isolated_retries,
             "run": self.run.as_dict(),
         }
 
@@ -276,11 +285,26 @@ class EstimationService:
 
     async def _run_batch(self, batch: "list[tuple[str, ExperimentConfig]]") -> None:
         self.stats.batches += 1
+        try:
+            results = await self._compute_in_executor(
+                [config for _, config in batch]
+            )
+        except Exception as exc:  # noqa: BLE001 - isolated per config below
+            await self._isolate_batch_failure(batch, exc)
+            return
+        for (key, _), result in zip(batch, results):
+            self._publish(key, result)
+
+    async def _compute_in_executor(
+        self, configs: "list[ExperimentConfig]"
+    ) -> "list[ExperimentResult]":
+        """One ``run_configs`` call on the compute thread; accumulates its
+        :class:`RunStats` into the service totals only when it succeeds."""
         run_stats = RunStats()
         loop = asyncio.get_running_loop()
         job = partial(
             self._compute,
-            [config for _, config in batch],
+            configs,
             workers=self.config.workers,
             cache=self._cache,
             activity_cache=self._activity_cache,
@@ -288,20 +312,45 @@ class EstimationService:
             stats=run_stats,
             backend=self.config.backend,
         )
-        try:
-            results = await loop.run_in_executor(self._executor, job)
-        except Exception as exc:  # noqa: BLE001 - forwarded to every waiter
-            self.stats.errors += len(batch)
-            for key, _ in batch:
-                future = self._inflight.pop(key, None)
-                if future is not None and not future.done():
-                    future.set_exception(exc)
-            return
+        results = await loop.run_in_executor(self._executor, job)
         self._accumulate(run_stats)
-        for (key, _), result in zip(batch, results):
-            future = self._inflight.pop(key, None)
-            if future is not None and not future.done():
-                future.set_result(result)
+        return results
+
+    async def _isolate_batch_failure(
+        self, batch: "list[tuple[str, ExperimentConfig]]", exc: Exception
+    ) -> None:
+        """Contain a failed batch to the configurations that actually fail.
+
+        ``run_configs`` raises as a unit, so one poisoned configuration
+        would otherwise reject every future drained into its batch.  Each
+        configuration is re-run individually: survivors get their result,
+        and only the configurations that fail *alone* get an exception.  A
+        single-config batch needs no re-run — its failure is already its
+        own.
+        """
+        if len(batch) == 1:
+            self.stats.errors += 1
+            self._fail(batch[0][0], exc)
+            return
+        for key, config in batch:
+            self.stats.isolated_retries += 1
+            try:
+                results = await self._compute_in_executor([config])
+            except Exception as single_exc:  # noqa: BLE001 - this config's own failure
+                self.stats.errors += 1
+                self._fail(key, single_exc)
+            else:
+                self._publish(key, results[0])
+
+    def _publish(self, key: str, result: ExperimentResult) -> None:
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_result(result)
+
+    def _fail(self, key: str, exc: Exception) -> None:
+        future = self._inflight.pop(key, None)
+        if future is not None and not future.done():
+            future.set_exception(exc)
 
     def _accumulate(self, run_stats: RunStats) -> None:
         total = self.stats.run

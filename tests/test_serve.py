@@ -189,6 +189,58 @@ class TestFailurePaths:
         assert service.stats.errors == 1  # one flight failed, not three
         assert len(service._inflight) == 0  # failed key fully retired
 
+    def test_batch_failure_is_isolated_per_config(self, quiet_config):
+        """One poisoned config in a drained batch fails only its own future."""
+        from repro.cache.fingerprint import experiment_fingerprint
+        from repro.experiments.sweep import run_configs
+
+        good = quiet_config(label="good")
+        poison = quiet_config(matrix_size=160, label="poison")
+        poison_key = experiment_fingerprint(poison)
+
+        def compute(configs, **kwargs):
+            if any(experiment_fingerprint(c) == poison_key for c in configs):
+                raise RuntimeError("poisoned configuration")
+            return run_configs(configs, **kwargs)
+
+        service = nocache_service(
+            compute, config=ServiceConfig(batch_window_s=0.05)
+        )
+
+        async def scenario():
+            results = await asyncio.gather(
+                service.submit(good),
+                service.submit(poison),
+                return_exceptions=True,
+            )
+            await service.close()
+            return results
+
+        good_result, poison_result = asyncio.run(scenario())
+        # The survivor completed with a real result, bit-for-bit the direct
+        # computation; only the poisoned config sees the exception.
+        assert isinstance(poison_result, RuntimeError)
+        direct = run_experiment(good, cache=None)
+        assert good_result.as_dict() == direct.as_dict()
+        assert service.stats.errors == 1
+        assert service.stats.isolated_retries == 2  # both re-ran individually
+        assert len(service._inflight) == 0
+
+    def test_single_config_batch_failure_needs_no_retry(self, quiet_config):
+        def explode(configs, **kwargs):
+            raise RuntimeError("estimator fell over")
+
+        service = nocache_service(compute=explode)
+
+        async def scenario():
+            with pytest.raises(RuntimeError):
+                await service.submit(quiet_config())
+            await service.close()
+
+        asyncio.run(scenario())
+        assert service.stats.errors == 1
+        assert service.stats.isolated_retries == 0
+
     def test_closed_service_rejects_submissions(self, quiet_config):
         service = nocache_service()
 
