@@ -1,16 +1,30 @@
 #!/usr/bin/env python
 """CI smoke test for the estimation server (stdlib only).
 
-Boots ``python -m repro.serve`` on a free port, then exercises the
-serving contract end to end:
+Runs the serving contract end to end, twice:
 
-1. ``GET /healthz`` answers once the banner is printed;
-2. ``POST /estimate`` returns a result document for one configuration;
+**Healthy phase** — boots ``python -m repro.serve`` on a free port, then:
+
+1. ``GET /healthz`` answers ``ok`` once the banner is printed;
+2. ``POST /estimate`` returns a result document for one configuration
+   (plus a few variant configurations recorded for the fault phase);
 3. a concurrent duplicate pair reports a coalesced hit on ``/stats``
    (the batch window makes the overlap deterministic in practice, but the
    pair is retried a few times so a pathologically slow runner cannot
    flake the build);
 4. ``POST /shutdown`` stops the server, which must exit 0.
+
+**Fault-injected phase** — the same flow under a deterministic
+``REPRO_FAULTS`` schedule (a busy sqlite cache write plus killed pool
+workers) with a disk cache and the ``processes`` backend.  Two distinct
+configurations posted concurrently land in one drained batch, which is
+what sends the batch through the process pool (a single pending
+configuration deliberately collapses to serial); the killed workers then
+force a pool rebuild and the threads fallback.  Every response must be
+**bit-for-bit identical** to the healthy phase's, the resilience
+counters must be visible on ``/stats``, and ``/healthz`` must flip to
+``degraded`` — the resilience layer's whole contract: absorb the fault,
+keep the answer, raise a flag.
 
 Usage::
 
@@ -33,7 +47,7 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: Hard cap on the whole smoke run.  A server that never prints its banner
+#: Hard cap on one smoke phase.  A server that never prints its banner
 #: would otherwise park ``readline()`` forever and hang CI until the job
 #: timeout; the watchdog kills the process instead, which unblocks every
 #: pipe read, and the failure path prints the captured server log.
@@ -51,6 +65,27 @@ SMOKE_CONFIG = {
 }
 
 COALESCE_ATTEMPTS = 3
+
+#: Concurrent distinct-config pairs tried per phase.  Each attempt uses a
+#: fresh pair (cached configs would drain as hits and bypass the pool);
+#: one landing in a shared batch is enough for the fault phase.
+BATCH_ATTEMPTS = 3
+
+#: The fault-phase schedule: the first sqlite cache write comes back
+#: busy (absorbed by retry), and every pool worker dies on its first
+#: chunk (pool rebuild, then threads fallback → a degraded /healthz).
+FAULT_SCHEDULE = "cache.sqlite.write:busy@1;pool.worker:kill@1"
+
+
+def _variant(iterations: int) -> dict:
+    config = dict(SMOKE_CONFIG)
+    config["iterations"] = iterations
+    return config
+
+
+def _pair(attempt: int) -> "list[dict]":
+    base = 60 + 2 * attempt
+    return [_variant(base), _variant(base + 1)]
 
 
 def post(base: str, path: str, body: dict, timeout: float = 120.0) -> dict:
@@ -79,7 +114,22 @@ def _dump_server_log(log_path: Path) -> None:
     print("---- end server log ----", file=sys.stderr)
 
 
-def main() -> int:
+class SmokeFailure(Exception):
+    """A phase failed; the message is already printed."""
+
+
+def run_phase(
+    phase: str,
+    extra_env: "dict[str, str]",
+    reference: "dict[str, dict] | None" = None,
+) -> "dict[str, dict]":
+    """Boot one server, run the smoke flow, return its estimate documents.
+
+    With ``reference`` (the healthy phase's documents), the phase runs
+    fault-injected: every response is asserted bit-for-bit identical to
+    its healthy counterpart, and the resilience counters and the degraded
+    health roll-up must become visible.
+    """
     env = dict(
         os.environ,
         PYTHONPATH=str(REPO_ROOT / "src"),
@@ -87,9 +137,10 @@ def main() -> int:
         # A wide batch window keeps the first request of a concurrent pair
         # in flight long enough that its duplicate always coalesces.
         REPRO_SERVE_BATCH_WINDOW_MS="100",
+        **extra_env,
     )
     log_file = tempfile.NamedTemporaryFile(
-        prefix="serve-smoke-", suffix=".log", delete=False
+        prefix=f"serve-smoke-{phase}-", suffix=".log", delete=False
     )
     log_path = Path(log_file.name)
     timed_out = threading.Event()
@@ -120,27 +171,41 @@ def main() -> int:
                     f"{proc.wait(timeout=10)}) before printing its banner"
                 )
             )
-            print(f"error: {reason}", file=sys.stderr)
+            print(f"error [{phase}]: {reason}", file=sys.stderr)
             _dump_server_log(log_path)
-            return 1
+            raise SmokeFailure(phase)
         banner = json.loads(banner_line)
         base = banner["listening"]
-        print(f"server up at {base} (pid {banner['pid']})")
+        print(f"[{phase}] server up at {base} (pid {banner['pid']})")
 
         deadline = time.monotonic() + 30
         while True:
             try:
-                assert get(base, "/healthz") == {"status": "ok"}
+                health = get(base, "/healthz")
+                assert health == {"status": "ok", "reasons": []}, health
                 break
             except (urllib.error.URLError, ConnectionError):
                 if time.monotonic() > deadline:
                     raise
                 time.sleep(0.2)
 
-        single = post(base, "/estimate", SMOKE_CONFIG)
-        assert "result" in single and "fingerprint" in single, sorted(single)
+        documents: "dict[str, dict]" = {}
+
+        def record(key: str, document: dict) -> dict:
+            assert "result" in document and "fingerprint" in document, sorted(document)
+            if reference is not None:
+                assert document == reference[key], (
+                    f"response {key!r} differs from the healthy phase"
+                )
+            documents[key] = document
+            return document
+
+        single = record("single", post(base, "/estimate", SMOKE_CONFIG))
         watts = single["result"]["mean_power_watts"]
-        print(f"single request OK: {watts:.2f} W, fingerprint {single['fingerprint'][:12]}")
+        print(
+            f"[{phase}] single request OK: {watts:.2f} W, "
+            f"fingerprint {single['fingerprint'][:12]}"
+        )
 
         for attempt in range(1, COALESCE_ATTEMPTS + 1):
             with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
@@ -148,36 +213,90 @@ def main() -> int:
                     pool.map(lambda _: post(base, "/estimate", SMOKE_CONFIG), range(2))
                 )
             assert pair[0] == pair[1], "duplicate responses must be bit-for-bit identical"
+            assert pair[0] == single, "coalesced responses must match the original"
             stats = get(base, "/stats")
             coalesced = stats["service"]["coalesced"]
-            print(f"attempt {attempt}: coalesced={coalesced}")
+            print(f"[{phase}] attempt {attempt}: coalesced={coalesced}")
             if coalesced >= 1:
                 break
         else:
-            print("error: no coalesced hit after "
-                  f"{COALESCE_ATTEMPTS} duplicate pairs", file=sys.stderr)
+            print(
+                f"error [{phase}]: no coalesced hit after "
+                f"{COALESCE_ATTEMPTS} duplicate pairs",
+                file=sys.stderr,
+            )
             print(json.dumps(stats, indent=2), file=sys.stderr)
             _dump_server_log(log_path)
-            return 1
-        print("stats:", json.dumps(stats["service"]))
+            raise SmokeFailure(phase)
+        print(f"[{phase}] stats:", json.dumps(stats["service"]))
+
+        # Distinct-config pairs.  Healthy: recorded as the reference.
+        # Fault-injected: posted concurrently so one pair lands in a
+        # shared batch, which routes through the (sabotaged) process
+        # pool; responses must still match the healthy documents.
+        for attempt in range(BATCH_ATTEMPTS):
+            configs = _pair(attempt)
+            if reference is None:
+                docs = [post(base, "/estimate", config) for config in configs]
+            else:
+                with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+                    docs = list(
+                        pool.map(lambda cfg: post(base, "/estimate", cfg), configs)
+                    )
+            for config, doc in zip(configs, docs):
+                record(f"pair-{config['iterations']}", doc)
+            if reference is not None:
+                run = get(base, "/stats")["service"]["run"]
+                if run["pool_rebuilds"] >= 1:
+                    break
+        if reference is not None:
+            stats = get(base, "/stats")
+            run = stats["service"]["run"]
+            if run["pool_rebuilds"] < 1:
+                print(
+                    f"error [{phase}]: no batch reached the process pool in "
+                    f"{BATCH_ATTEMPTS} attempts",
+                    file=sys.stderr,
+                )
+                print(json.dumps(stats, indent=2), file=sys.stderr)
+                _dump_server_log(log_path)
+                raise SmokeFailure(phase)
+            assert run["chunks_resubmitted"] >= 1, run
+            assert run["degraded_backend"] == "threads", run
+            retries = sum(
+                tier.get("resilience", {}).get("retries", 0)
+                for tier in stats["caches"].values()
+            )
+            assert retries >= 1, stats["caches"]
+            health = get(base, "/healthz")
+            assert health["status"] == "degraded", health
+            assert any("threads" in reason for reason in health["reasons"]), health
+            print(
+                f"[{phase}] absorbed faults: pool_rebuilds={run['pool_rebuilds']} "
+                f"chunks_resubmitted={run['chunks_resubmitted']} "
+                f"cache_retries={retries}"
+            )
+            print(f"[{phase}] degraded as expected: {health['reasons']}")
 
         assert post(base, "/shutdown", {}) == {"status": "stopping"}
         code = proc.wait(timeout=30)
         if code != 0:
-            print(f"error: server exited {code} after shutdown", file=sys.stderr)
+            print(f"error [{phase}]: server exited {code} after shutdown", file=sys.stderr)
             _dump_server_log(log_path)
-            return 1
-        print("clean shutdown OK")
-        return 0
+            raise SmokeFailure(phase)
+        print(f"[{phase}] clean shutdown OK")
+        return documents
+    except SmokeFailure:
+        raise
     except Exception as exc:  # noqa: BLE001  (any failure must surface the log)
         reason = (
             f"watchdog killed the server after {WATCHDOG_SECONDS}s"
             if timed_out.is_set()
             else f"smoke test failed: {exc!r}"
         )
-        print(f"error: {reason}", file=sys.stderr)
+        print(f"error [{phase}]: {reason}", file=sys.stderr)
         _dump_server_log(log_path)
-        return 1
+        raise SmokeFailure(phase) from exc
     finally:
         watchdog.cancel()
         if proc.poll() is None:
@@ -185,6 +304,27 @@ def main() -> int:
             proc.wait(timeout=10)
         log_file.close()
         log_path.unlink(missing_ok=True)
+
+
+def main() -> int:
+    try:
+        healthy = run_phase("healthy", {})
+        with tempfile.TemporaryDirectory(prefix="serve-smoke-cache-") as cache_dir:
+            run_phase(
+                "faults",
+                {
+                    "REPRO_FAULTS": FAULT_SCHEDULE,
+                    "REPRO_FAULTS_SEED": "0",
+                    "REPRO_CACHE_DIR": cache_dir,
+                    "REPRO_SERVE_BACKEND": "processes",
+                    "REPRO_SERVE_WORKERS": "2",
+                },
+                reference=healthy,
+            )
+    except SmokeFailure:
+        return 1
+    print("fault-injected responses are bit-for-bit identical to the healthy ones")
+    return 0
 
 
 if __name__ == "__main__":

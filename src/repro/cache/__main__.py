@@ -172,6 +172,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"({info['hit_rate']:.0%} hit rate), {info['puts']} puts, "
             f"{info['evictions']} evictions"
         )
+        resilience = info.get("resilience")
+        if resilience is None:
+            continue  # the plan tier has no disk backend to absorb faults
+        line = (
+            f"         {'':<10} {resilience['retries']} retries "
+            f"({resilience['backoff_s']:.3f}s backoff), "
+            f"{resilience['quarantines']} quarantines"
+        )
+        if resilience["degraded"]:
+            line += f", DEGRADED: {resilience['degraded_reason']}"
+        print(line)
     return 0
 
 

@@ -33,17 +33,43 @@ guarded by a lock, and may be shared by many threads; many processes may
 each hold their own store on the same path (``busy_timeout`` absorbs
 write contention).  All errors surface as :class:`OSError` so callers
 can treat disk-backend failures uniformly across backends.
+
+Resilience
+----------
+
+Every statement batch runs through :meth:`SqliteStore._run`, which maps
+three failure classes to three responses (see ``docs/resilience.md``):
+
+* *busy/locked* — retried under the store's :class:`RetryPolicy` (capped
+  exponential backoff, deterministic jitter), sleeping **outside** the
+  store lock so contended writers back off without blocking readers;
+* *corruption* ("malformed", "not a database") — the database file is
+  quarantined (renamed to ``entries.sqlite.corrupt.<pid>.<n>``) together
+  with its WAL sidecars, rebuilt empty, and the operation retried once;
+* anything else — surfaced as :class:`OSError` for the cache layer's
+  backend-agnostic accounting (and possible memory-only degradation).
+
+The shared ``counters`` (:class:`ResilienceStats`) make all of this
+visible in ``python -m repro.cache stats`` and the server's ``/stats``.
+Fault-injection points ``cache.sqlite.open|read|write`` (see
+:mod:`repro.faults`) sit at the top of each statement batch.
 """
 
 from __future__ import annotations
 
+import os
 import sqlite3
 import threading
 import time
 from pathlib import Path
-from typing import Iterator
+from typing import Callable, Iterator, TypeVar
+
+from repro.cache.resilience import ResilienceStats, RetryPolicy
+from repro.faults import fault_point
 
 __all__ = ["DB_FILENAME", "SqliteStore", "read_entries", "delete_entries"]
+
+_T = TypeVar("_T")
 
 #: Database file name inside a tier directory.  The JSON backend's entry
 #: files sit next to it as ``<key>.json`` until migration consumes them.
@@ -63,112 +89,258 @@ CREATE TABLE IF NOT EXISTS entries (
 #: a longer stall indicates a wedged filesystem and should surface.
 _BUSY_TIMEOUT_S = 5.0
 
+#: Substrings identifying a transiently locked database (retryable) and a
+#: corrupt database image (quarantine-and-rebuild) in SQLite messages.
+_BUSY_MARKERS = ("locked", "busy")
+_CORRUPTION_MARKERS = ("malformed", "not a database", "corrupt")
+
+#: WAL sidecar suffixes moved aside together with a quarantined database,
+#: so the rebuilt file can never adopt a stale write-ahead log.
+_SIDECAR_SUFFIXES = ("-wal", "-shm")
+
+
+def _is_busy(exc: sqlite3.Error) -> bool:
+    message = str(exc).lower()
+    return isinstance(exc, sqlite3.OperationalError) and any(
+        marker in message for marker in _BUSY_MARKERS
+    )
+
+
+def _is_corruption(exc: sqlite3.Error) -> bool:
+    message = str(exc).lower()
+    return isinstance(exc, sqlite3.DatabaseError) and any(
+        marker in message for marker in _CORRUPTION_MARKERS
+    )
+
 
 class SqliteStore:
     """One tier's key→JSON-text store on a single SQLite database."""
 
-    def __init__(self, directory: "str | Path", timeout: float = _BUSY_TIMEOUT_S) -> None:
+    def __init__(
+        self,
+        directory: "str | Path",
+        timeout: float = _BUSY_TIMEOUT_S,
+        retry: "RetryPolicy | None" = None,
+        counters: "ResilienceStats | None" = None,
+    ) -> None:
         self.directory = Path(directory)
         self.path = self.directory / DB_FILENAME
+        self.timeout = timeout
+        self.retry = RetryPolicy.from_env() if retry is None else retry
+        # Shared with the owning cache so retries/quarantines surface in
+        # that tier's stats; standalone stores get private counters.
+        self.counters = ResilienceStats() if counters is None else counters
         self._lock = threading.RLock()
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            self._conn = sqlite3.connect(
-                str(self.path), timeout=timeout, check_same_thread=False
-            )
-            with self._lock:
-                # WAL survives across connections (it is a database property,
-                # not a connection one) but setting it is idempotent and cheap.
-                self._conn.execute("PRAGMA journal_mode=WAL")
-                self._conn.execute("PRAGMA synchronous=NORMAL")
-                self._conn.execute(_SCHEMA)
-                self._conn.commit()
-        except sqlite3.Error as exc:
-            raise OSError(f"cannot open cache database {self.path}: {exc}") from exc
+        self._conn: "sqlite3.Connection | None" = None
+        self._open_with_recovery()
         self._migrate_legacy_files()
 
     # ------------------------------------------------------------------ API
 
     def get(self, key: str) -> "str | None":
         """The JSON text stored under ``key``, or ``None``."""
-        try:
-            with self._lock:
-                row = self._conn.execute(
-                    "SELECT payload FROM entries WHERE key = ?", (key,)
-                ).fetchone()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database read failed: {exc}") from exc
+        row = self._run(
+            "read",
+            lambda: self._conn.execute(
+                "SELECT payload FROM entries WHERE key = ?", (key,)
+            ).fetchone(),
+        )
         return row[0] if row is not None else None
 
     def put(self, key: str, payload: str, mtime: "float | None" = None) -> None:
         """Insert or replace one entry (last writer wins, like os.replace)."""
         stamp = time.time() if mtime is None else float(mtime)
-        try:
-            with self._lock:
-                self._conn.execute(
-                    "INSERT OR REPLACE INTO entries (key, payload, mtime, size) "
-                    "VALUES (?, ?, ?, ?)",
-                    (key, payload, stamp, len(payload.encode("utf-8"))),
-                )
-                self._conn.commit()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database write failed: {exc}") from exc
+
+        def _write() -> None:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO entries (key, payload, mtime, size) "
+                "VALUES (?, ?, ?, ?)",
+                (key, payload, stamp, len(payload.encode("utf-8"))),
+            )
+            self._conn.commit()
+
+        self._run("write", _write)
 
     def delete(self, key: str) -> None:
         """Remove one entry (no-op when absent)."""
-        try:
-            with self._lock:
-                self._conn.execute("DELETE FROM entries WHERE key = ?", (key,))
-                self._conn.commit()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database delete failed: {exc}") from exc
+
+        def _delete() -> None:
+            self._conn.execute("DELETE FROM entries WHERE key = ?", (key,))
+            self._conn.commit()
+
+        self._run("write", _delete)
 
     def contains(self, key: str) -> bool:
-        try:
-            with self._lock:
-                row = self._conn.execute(
-                    "SELECT 1 FROM entries WHERE key = ?", (key,)
-                ).fetchone()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database read failed: {exc}") from exc
+        row = self._run(
+            "read",
+            lambda: self._conn.execute(
+                "SELECT 1 FROM entries WHERE key = ?", (key,)
+            ).fetchone(),
+        )
         return row is not None
 
     def clear(self) -> None:
         """Remove every entry (the database file itself stays)."""
-        try:
-            with self._lock:
-                self._conn.execute("DELETE FROM entries")
-                self._conn.commit()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database clear failed: {exc}") from exc
+
+        def _clear() -> None:
+            self._conn.execute("DELETE FROM entries")
+            self._conn.commit()
+
+        self._run("write", _clear)
 
     def entries(self) -> "Iterator[tuple[str, int, float]]":
         """Yield ``(key, size_bytes, mtime)`` for every entry (GC scanning)."""
-        try:
-            with self._lock:
-                rows = self._conn.execute(
-                    "SELECT key, size, mtime FROM entries"
-                ).fetchall()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database scan failed: {exc}") from exc
+        rows = self._run(
+            "read",
+            lambda: self._conn.execute(
+                "SELECT key, size, mtime FROM entries"
+            ).fetchall(),
+        )
         return iter(rows)
 
     def __len__(self) -> int:
-        try:
-            with self._lock:
-                (count,) = self._conn.execute(
-                    "SELECT COUNT(*) FROM entries"
-                ).fetchone()
-        except sqlite3.Error as exc:
-            raise OSError(f"cache database count failed: {exc}") from exc
-        return int(count)
+        row = self._run(
+            "read",
+            lambda: self._conn.execute("SELECT COUNT(*) FROM entries").fetchone(),
+        )
+        return int(row[0])
 
     def close(self) -> None:
         with self._lock:
+            conn = self._conn
+            if conn is None:
+                return
             try:
-                self._conn.close()
+                conn.close()
             except sqlite3.Error:  # pragma: no cover - close never fails in practice
                 pass
+
+    # ----------------------------------------------------------- resilience
+
+    def _run(self, action: str, fn: "Callable[[], _T]") -> "_T":
+        """Execute one locked statement batch with busy retry and
+        corruption quarantine; every SQLite failure leaves as OSError."""
+        attempt = 0
+        while True:
+            try:
+                with self._lock:
+                    fault_point(f"cache.sqlite.{action}")
+                    return fn()
+            except sqlite3.Error as exc:
+                self._rollback()
+                if _is_corruption(exc):
+                    self._quarantine_and_rebuild(exc)
+                    try:
+                        with self._lock:
+                            return fn()
+                    except sqlite3.Error as retry_exc:
+                        raise OSError(
+                            f"cache database {action} failed after rebuild: {retry_exc}"
+                        ) from retry_exc
+                if _is_busy(exc):
+                    delay = self.retry.delay_s(attempt)
+                    if delay is not None:
+                        attempt += 1
+                        self.counters.record_retry(delay)
+                        # Outside the lock: contended writers back off
+                        # without stalling this store's other threads.
+                        time.sleep(delay)
+                        continue
+                raise OSError(f"cache database {action} failed: {exc}") from exc
+
+    def _rollback(self) -> None:
+        """Drop any transaction a failed batch left open (best effort)."""
+        try:
+            with self._lock:
+                if self._conn is not None:
+                    self._conn.rollback()
+        except sqlite3.Error:  # pragma: no cover - rollback on a dead handle
+            pass
+
+    def _open_with_recovery(self) -> None:
+        """Open the database, retrying busy errors and quarantining a
+        corrupt image, mirroring :meth:`_run` for the connect path."""
+        attempt = 0
+        while True:
+            try:
+                self._connect()
+                return
+            except sqlite3.Error as exc:
+                if _is_corruption(exc):
+                    self._quarantine_and_rebuild(exc)
+                    return
+                if _is_busy(exc):
+                    delay = self.retry.delay_s(attempt)
+                    if delay is not None:
+                        attempt += 1
+                        self.counters.record_retry(delay)
+                        time.sleep(delay)
+                        continue
+                raise OSError(
+                    f"cannot open cache database {self.path}: {exc}"
+                ) from exc
+
+    def _connect(self) -> None:
+        """(Re)open the connection and ensure the schema exists.
+
+        The only place ``self._conn`` is assigned after construction, so
+        the quarantine path and ``__init__`` share one code path."""
+        fault_point("cache.sqlite.open")
+        self.directory.mkdir(parents=True, exist_ok=True)
+        conn = sqlite3.connect(
+            str(self.path), timeout=self.timeout, check_same_thread=False
+        )
+        try:
+            # WAL survives across connections (it is a database property,
+            # not a connection one) but setting it is idempotent and cheap.
+            conn.execute("PRAGMA journal_mode=WAL")
+            conn.execute("PRAGMA synchronous=NORMAL")
+            conn.execute(_SCHEMA)
+            conn.commit()
+        except sqlite3.Error:
+            try:
+                conn.close()
+            except sqlite3.Error:  # pragma: no cover - close of a dead handle
+                pass
+            raise
+        self._conn = conn
+
+    def _quarantine_and_rebuild(self, exc: sqlite3.Error) -> None:
+        """Move a corrupt database (and WAL sidecars) aside, then rebuild.
+
+        Cached entries in the quarantined file are lost — the cache only
+        trades recomputation for time, never correctness — but the file is
+        kept on disk for post-mortem inspection.  Raises :class:`OSError`
+        when the filesystem refuses the quarantine or the rebuild."""
+        self.counters.quarantines += 1
+        with self._lock:
+            conn = self._conn
+            if conn is not None:
+                try:
+                    conn.close()
+                except sqlite3.Error:  # pragma: no cover - close of a dead handle
+                    pass
+            stamp = f"corrupt.{os.getpid()}.{self.counters.quarantines}"
+            try:
+                os.replace(self.path, self.path.with_name(f"{DB_FILENAME}.{stamp}"))
+            except FileNotFoundError:
+                pass  # never materialized; rebuild below creates it
+            except OSError as move_exc:
+                raise OSError(
+                    f"cache database corrupt ({exc}) and quarantine failed: {move_exc}"
+                ) from exc
+            for suffix in _SIDECAR_SUFFIXES:
+                sidecar = self.path.with_name(f"{DB_FILENAME}{suffix}")
+                try:
+                    os.replace(sidecar, sidecar.with_name(f"{sidecar.name}.{stamp}"))
+                except OSError:
+                    pass  # no sidecar, or not movable: the fresh DB resets it
+            try:
+                self._connect()
+            except sqlite3.Error as rebuild_exc:
+                raise OSError(
+                    f"cache database rebuild after corruption failed: {rebuild_exc}"
+                ) from rebuild_exc
 
     # ------------------------------------------------------------ internals
 

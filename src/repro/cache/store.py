@@ -68,6 +68,7 @@ controlled by the ``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` /
 from __future__ import annotations
 
 import copy
+import errno as errno_module
 import json
 import os
 import threading
@@ -76,7 +77,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
+from repro.cache.resilience import ResilienceStats
 from repro.errors import ExperimentError, ReproError
+from repro.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - typing only; imported lazily at runtime
     from repro.activity.report import ActivityReport
@@ -141,6 +144,7 @@ class _JsonFileBackend:
         return self.directory / f"{key}.json"
 
     def read_text(self, key: str) -> "str | None":
+        fault_point("cache.json.read")
         path = self.path(key)
         if not path.exists():
             return None
@@ -152,6 +156,7 @@ class _JsonFileBackend:
         on the same key) only ever see a complete JSON document.  The temp
         name includes the thread id because writes run outside the cache
         lock — two threads of one process may publish the same key at once."""
+        fault_point("cache.json.write")
         path = self.path(key)
         tmp = path.with_name(f".{path.name}.{os.getpid()}.{threading.get_ident()}.tmp")
         try:
@@ -193,11 +198,13 @@ class _SqliteDiskBackend:
     backend-agnostic.
     """
 
-    def __init__(self, directory: Path) -> None:
+    def __init__(self, directory: Path, counters: "ResilienceStats | None" = None) -> None:
         from repro.cache.sqlite_store import SqliteStore
 
         self.directory = directory
-        self._store = SqliteStore(directory)
+        # Sharing the owning cache's resilience counters means SQLite-level
+        # retries and quarantines show up in that tier's stats directly.
+        self._store = SqliteStore(directory, counters=counters)
 
     def read_text(self, key: str) -> "str | None":
         return self._store.get(key)
@@ -271,6 +278,7 @@ class JsonDiskCache:
     disk_dir: "str | Path | None" = None
     stats: CacheStats = field(default_factory=CacheStats)
     disk_backend: str = "auto"
+    resilience: ResilienceStats = field(default_factory=ResilienceStats)
 
     def __post_init__(self) -> None:
         if self.max_entries < 1:
@@ -281,10 +289,19 @@ class JsonDiskCache:
         if self.disk_dir is not None:
             self.disk_dir = Path(self.disk_dir)
             self.disk_backend = resolve_disk_backend(self.disk_backend)
-            if self.disk_backend == "sqlite":
-                self._backend = _SqliteDiskBackend(self.disk_dir)
-            else:
-                self._backend = _JsonFileBackend(self.disk_dir)
+            try:
+                if self.disk_backend == "sqlite":
+                    self._backend = _SqliteDiskBackend(
+                        self.disk_dir, counters=self.resilience
+                    )
+                else:
+                    self._backend = _JsonFileBackend(self.disk_dir)
+            except OSError as exc:
+                # An unusable disk tier at construction (read-only FS, full
+                # disk, unrecoverable corruption) degrades the cache to
+                # memory-only instead of failing every experiment run.
+                self.stats.disk_errors += 1
+                self.resilience.degrade(f"disk tier unusable at open: {exc}")
 
     # ----------------------------------------------------- value protocol
 
@@ -337,8 +354,7 @@ class JsonDiskCache:
         with self._lock:
             self._insert(key, stored)
             self.stats.puts += 1
-            write_disk = self.disk_dir is not None
-        if write_disk:
+        if self._backend is not None:
             self._write_to_disk(key, value)
 
     def clear(self, disk: bool = False) -> None:
@@ -365,6 +381,7 @@ class JsonDiskCache:
                 "disk_dir": str(self.disk_dir) if self.disk_dir is not None else None,
                 "disk_backend": self.disk_backend if self.disk_dir is not None else None,
                 **self.stats.as_dict(),
+                "resilience": self.resilience.as_dict(),
             }
 
     # ------------------------------------------------------------- dunders
@@ -397,21 +414,26 @@ class JsonDiskCache:
     def _write_to_disk(self, key: str, value: Any) -> None:
         """Publish one entry through the disk backend (atomic under both
         concurrent threads and concurrent processes, whichever backend)."""
-        assert self._backend is not None
+        backend = self._backend
+        if backend is None:  # degraded concurrently; memory tier already has it
+            return
         try:
-            self._backend.write_text(key, json.dumps(self._serialize(value)))
-        except OSError:
+            backend.write_text(key, json.dumps(self._serialize(value)))
+        except OSError as exc:
             with self._lock:
                 self.stats.disk_errors += 1
+            self._maybe_degrade(exc)
 
     def _load_from_disk(self, key: str) -> Any:
-        if self._backend is None:
+        backend = self._backend
+        if backend is None:
             return None
         try:
-            raw = self._backend.read_text(key)
-        except OSError:
+            raw = backend.read_text(key)
+        except OSError as exc:
             with self._lock:
                 self.stats.disk_errors += 1
+            self._maybe_degrade(exc)
             return None
         if raw is None:
             return None
@@ -423,10 +445,29 @@ class JsonDiskCache:
             with self._lock:
                 self.stats.disk_errors += 1
             try:
-                self._backend.delete(key)
+                backend.delete(key)
             except OSError:
                 pass
             return None
+
+    #: ``errno`` values meaning the disk tier is unusable as a whole (not
+    #: just one entry): full disk, quota, read-only filesystem.
+    _FATAL_DISK_ERRNOS = frozenset(
+        {errno_module.ENOSPC, errno_module.EROFS, errno_module.EDQUOT}
+    )
+
+    def _maybe_degrade(self, exc: OSError) -> None:
+        """Fall back to memory-only operation on whole-tier disk failures.
+
+        Per-entry failures keep the backend: the next key may well work.
+        A full or read-only filesystem will fail every future touch, so
+        the backend is dropped and the sticky ``degraded`` flag raised —
+        results stay identical, only persistence stops.
+        """
+        if exc.errno not in self._FATAL_DISK_ERRNOS:
+            return
+        self._backend = None
+        self.resilience.degrade(f"memory-only: {exc}")
 
 
 @dataclass

@@ -56,6 +56,24 @@ class ServiceOverloadedError(ServingError):
     """Raised when the serving layer rejects a request for lack of queue room."""
 
 
+class ServiceTimeoutError(ServingError):
+    """Raised when a request exceeds its serving deadline (HTTP 504)."""
+
+
+class FaultInjectionError(ReproError):
+    """Raised for an invalid ``REPRO_FAULTS`` schedule or injection point."""
+
+
+class InjectedFaultError(ReproError):
+    """The generic exception :func:`repro.faults.fault_point` injects.
+
+    Fault modes that simulate a specific failure raise that failure's own
+    type (``sqlite3.OperationalError``, ``OSError``, ...); modes without a
+    site-specific type raise this one, so chaos tests can assert "a typed
+    repro error, never a hang or a wrong answer".
+    """
+
+
 class AnalysisError(ReproError):
     """Raised by analysis routines on inconsistent inputs."""
 

@@ -81,6 +81,13 @@ class RunStats:
     #: execution backend the computed points actually ran on (``"serial"``
     #: when everything was inline or served from the cache)
     backend: str = "serial"
+    #: times the process pool was rebuilt after breakage (dead worker)
+    pool_rebuilds: int = 0
+    #: chunks resubmitted (or rerun on the fallback) after pool breakage
+    chunks_resubmitted: int = 0
+    #: non-empty when the executor abandoned its native pool mid-run (e.g.
+    #: ``"threads"`` after the rebuilt process pool broke again)
+    degraded_backend: str = ""
 
     def as_dict(self) -> dict[str, Any]:
         return {
@@ -90,6 +97,9 @@ class RunStats:
             "executed": self.executed,
             "duration_s": self.duration_s,
             "backend": self.backend,
+            "pool_rebuilds": self.pool_rebuilds,
+            "chunks_resubmitted": self.chunks_resubmitted,
+            "degraded_backend": self.degraded_backend,
         }
 
 
@@ -269,6 +279,9 @@ def run_configs(
     stats.executed = 0
     stats.duration_s = 0.0
     stats.backend = "serial"
+    stats.pool_rebuilds = 0
+    stats.chunks_resubmitted = 0
+    stats.degraded_backend = ""
     started = time.perf_counter()
 
     resolved = resolve_cache(cache)
@@ -402,6 +415,14 @@ def run_configs(
             # processes / shared-memory segments) after one point failed.
             executor.shutdown(cancel=True)
             raise
+        # Surface what the executor had to absorb (process-pool rebuilds,
+        # chunk resubmissions, a threads fallback) in this run's stats —
+        # results are identical either way, but the events must be loud.
+        resilience = getattr(executor, "resilience", None)
+        if resilience is not None:
+            stats.pool_rebuilds = resilience.pool_rebuilds
+            stats.chunks_resubmitted = resilience.chunks_resubmitted
+            stats.degraded_backend = resilience.fallback_backend
         executor.shutdown()
 
     stats.duration_s = time.perf_counter() - started

@@ -27,6 +27,13 @@ Every backend yields results in submission order and propagates the first
 failure; ``shutdown(cancel=True)`` stops queued work and releases backend
 resources (including unconsumed shared-memory segments).
 
+The process backend additionally survives *pool breakage* (a worker dying
+mid-chunk — OOM kill, segfault, interpreter abort): it rebuilds the pool
+once and resubmits only the chunks whose results were not yet consumed,
+then falls back to a thread pool for the remaining items if the rebuilt
+pool breaks again (see ``docs/resilience.md``).  Both events are counted
+on :class:`ExecutorResilience` and folded into the sweep's ``RunStats``.
+
 The ``Executor`` protocol contract
 ----------------------------------
 
@@ -55,17 +62,23 @@ things:
 from __future__ import annotations
 
 import abc
+import contextlib
 import os
+import signal
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Sequence
 
 from repro.errors import ExperimentError
+from repro.faults import fault_point
 from repro.parallel import shm
 
 __all__ = [
     "BACKENDS",
     "ENV_BACKEND",
     "Executor",
+    "ExecutorResilience",
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
@@ -73,6 +86,27 @@ __all__ = [
     "resolve_backend",
     "get_executor",
 ]
+
+
+@dataclass
+class ExecutorResilience:
+    """Counters describing how an executor absorbed pool failures.
+
+    ``fallback_backend`` is non-empty once the executor stopped using its
+    native pool (e.g. ``"threads"`` after repeated process-pool breakage) —
+    a sticky, loud signal the sweep runner copies into its ``RunStats``.
+    """
+
+    pool_rebuilds: int = 0
+    chunks_resubmitted: int = 0
+    fallback_backend: str = ""
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "pool_rebuilds": self.pool_rebuilds,
+            "chunks_resubmitted": self.chunks_resubmitted,
+            "fallback_backend": self.fallback_backend,
+        }
 
 #: The selectable backends, in the order the docs present them.
 BACKENDS = ("serial", "threads", "processes")
@@ -145,12 +179,40 @@ class ThreadExecutor(Executor):
         self._pool.shutdown(wait=True, cancel_futures=cancel)
 
 
+def _worker_init(
+    user_initializer: "Callable[..., None] | None", user_initargs: tuple
+) -> None:
+    """Per-worker start-up hook: signal hygiene, then the user initializer.
+
+    Forked workers inherit the parent's Python-level signal handlers *and*
+    any ``signal.set_wakeup_fd`` registration.  In a serving parent the
+    wakeup fd is the asyncio loop's self-socketpair — shared with the
+    child as the same open file description — so a signal delivered to a
+    worker (most notably the SIGTERM that ``concurrent.futures`` sends to
+    surviving workers when a sibling dies and breaks the pool) would be
+    written into the *parent's* loop and observed there as a shutdown
+    request.  Detach the wakeup fd and restore default dispositions so a
+    worker's signals stay the worker's problem: SIGTERM default-kills it,
+    SIGINT is ignored (Ctrl-C interrupts the parent, which then tears the
+    pool down deliberately).
+    """
+    with contextlib.suppress(ValueError, OSError):
+        signal.set_wakeup_fd(-1)
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    if user_initializer is not None:
+        user_initializer(*user_initargs)
+
+
 def _run_chunk(
     fn: "Callable[[Any], Any]",
     encode: "Callable[[Sequence[Any]], bytes]",
     items: "Sequence[Any]",
 ) -> "shm.ShmHandle | shm.InlineChunk":
     """Worker-side entry point: run one chunk, publish its results."""
+    fault_point("pool.worker")
     return shm.share_chunk([fn(item) for item in items], encode)
 
 
@@ -171,6 +233,16 @@ class ProcessExecutor(Executor):
     per worker at start-up — the sweep runner uses the hook to seed the
     calibrated chunk budget and each worker's plan cache, which then stays
     warm across all of that worker's chunks.
+
+    A dying worker (OOM kill, segfault) breaks the whole
+    :class:`~concurrent.futures.ProcessPoolExecutor` — every pending future
+    fails with :class:`BrokenProcessPool`.  Consumed results are already
+    safe, so this executor rebuilds the pool once and resubmits only the
+    unconsumed chunks; if the rebuilt pool breaks too, the machine is
+    telling us process workers do not survive here, and the remaining items
+    run on a thread pool instead (``resilience.fallback_backend`` records
+    the switch).  Results stay bit-for-bit identical in all three paths —
+    only where they are computed changes.
     """
 
     name = "processes"
@@ -195,56 +267,129 @@ class ProcessExecutor(Executor):
             )
         self.chunksize = chunksize
         self.chunk_span = chunksize
+        self.resilience = ExecutorResilience()
+        self._workers = workers
+        self._initializer = initializer
+        self._initargs = initargs
         self._encode = encode
         self._decode = decode
         self._use_shm = transfer == "shm" or (transfer == "auto" and shm.shm_available())
         self._pool = ProcessPoolExecutor(
-            max_workers=workers, initializer=initializer, initargs=initargs
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(initializer, initargs),
         )
+        self._fallback_pool: "ThreadPoolExecutor | None" = None
         self._futures: "list[Future]" = []
         self._consumed = 0
+        self._fn: "Callable[[Any], Any] | None" = None
+        self._chunks: "list[list[Any]]" = []
 
     def map(self, fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> Iterator[Any]:
         items = list(items)
-        chunks = [
+        self._fn = fn
+        self._chunks = [
             items[start : start + self.chunksize]
             for start in range(0, len(items), self.chunksize)
         ]
-        if self._use_shm:
-            self._futures = [
-                self._pool.submit(_run_chunk, fn, self._encode, chunk)
-                for chunk in chunks
-            ]
-        else:
-            self._futures = [
-                self._pool.submit(_run_pickled_chunk, fn, chunk) for chunk in chunks
-            ]
+        self._futures = self._submit(self._chunks)
 
         def _results() -> Iterator[Any]:
-            for index, future in enumerate(self._futures):
-                handle = future.result()
+            index = 0
+            while index < len(self._futures):
+                try:
+                    handle = self._futures[index].result()
+                except BrokenProcessPool:
+                    self._recover(index)
+                    if self.resilience.fallback_backend:
+                        yield from self._fallback_results(index)
+                        return
+                    continue  # retry this chunk's future on the rebuilt pool
                 self._consumed = index + 1
                 yield from shm.receive_chunk(handle, self._decode)
+                index += 1
 
         return _results()
 
     def shutdown(self, cancel: bool = False) -> None:
         self._pool.shutdown(wait=True, cancel_futures=cancel)
+        if self._fallback_pool is not None:
+            self._fallback_pool.shutdown(wait=True, cancel_futures=cancel)
         # Any chunk that completed without being consumed still owns a
         # shared-memory segment nobody will decode; free them whether this
         # is a cancellation (sweep failure) or a clean exit with the result
         # iterator abandoned early, so neither path can leak /dev/shm
         # space.  (Cancelled or failed futures never created a segment: the
         # worker either published or raised.)
+        self._discard_unconsumed()
+        self._futures = []
+        self._consumed = 0
+
+    # ----------------------------------------------------------- resilience
+
+    def _submit(self, chunks: "list[list[Any]]") -> "list[Future]":
+        if self._use_shm:
+            return [
+                self._pool.submit(_run_chunk, self._fn, self._encode, chunk)
+                for chunk in chunks
+            ]
+        return [
+            self._pool.submit(_run_pickled_chunk, self._fn, chunk) for chunk in chunks
+        ]
+
+    def _discard_unconsumed(self) -> None:
         for future in self._futures[self._consumed :]:
             if future.done() and not future.cancelled() and future.exception() is None:
                 shm.discard_chunk(future.result())
-        self._futures = []
-        self._consumed = 0
+
+    def _recover(self, index: int) -> None:
+        """React to pool breakage observed at chunk ``index``.
+
+        First breakage: rebuild the pool (same initializer, so worker plan
+        caches re-seed) and resubmit every unconsumed chunk.  Second
+        breakage: mark the threads fallback; the caller reruns the
+        remaining items in-process.  Either way the broken pool is torn
+        down without waiting — its workers are already gone.
+        """
+        remaining = self._chunks[index:]
+        # Chunks that published a segment before the pool broke would leak
+        # it once resubmission recomputes them; free those segments first.
+        self._discard_unconsumed()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self.resilience.chunks_resubmitted += len(remaining)
+        if not self.resilience.pool_rebuilds:
+            self.resilience.pool_rebuilds += 1
+            self._pool = ProcessPoolExecutor(
+                max_workers=self._workers,
+                initializer=_worker_init,
+                initargs=(self._initializer, self._initargs),
+            )
+            self._futures[index:] = self._submit(remaining)
+        else:
+            self.resilience.fallback_backend = "threads"
+
+    def _fallback_results(self, index: int) -> Iterator[Any]:
+        """Run every item of the unconsumed chunks on a thread pool.
+
+        The process pool broke twice; threads cannot be OOM-killed away
+        from under us, and correctness does not depend on the backend (the
+        serial/threads/processes contract is bit-for-bit equality).
+        """
+        items = [item for chunk in self._chunks[index:] for item in chunk]
+        self._fallback_pool = ThreadPoolExecutor(
+            max_workers=self._workers, thread_name_prefix="repro-sweep-fallback"
+        )
+        futures = [self._fallback_pool.submit(self._fn, item) for item in items]
+        # The old futures all failed with BrokenProcessPool and own no
+        # segments; mark them consumed so shutdown() skips them.
+        self._consumed = len(self._futures)
+        for future in futures:
+            yield future.result()
 
 
 def _run_pickled_chunk(fn: "Callable[[Any], Any]", items: "Sequence[Any]") -> "shm.InlineChunk":
     """Worker-side entry point for the forced-pickle transfer mode."""
+    fault_point("pool.worker")
     return shm.InlineChunk(values=tuple(fn(item) for item in items))
 
 

@@ -42,16 +42,25 @@ _REASONS = {
     413: "Payload Too Large",
     429: "Too Many Requests",
     500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
 class HttpError(Exception):
-    """A malformed or unserviceable request; ``status`` goes on the wire."""
+    """A malformed or unserviceable request; ``status`` goes on the wire.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` are extra response headers (e.g. ``Retry-After`` on 429)
+    rendered alongside the error body.
+    """
+
+    def __init__(
+        self, status: int, message: str, headers: "dict[str, str] | None" = None
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = dict(headers) if headers else {}
 
 
 @dataclass
@@ -121,14 +130,22 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
     return HttpRequest(method=method.upper(), path=path, headers=headers, body=body)
 
 
-def render_response(status: int, payload: Any) -> bytes:
-    """Serialize a JSON response with ``Connection: close`` semantics."""
+def render_response(
+    status: int, payload: Any, headers: "dict[str, str] | None" = None
+) -> bytes:
+    """Serialize a JSON response with ``Connection: close`` semantics.
+
+    ``headers`` adds extra response headers (``Retry-After`` and friends)
+    between the fixed ones and the blank line.
+    """
     body = json.dumps(payload, sort_keys=True).encode("utf-8")
     reason = _REASONS.get(status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in (headers or {}).items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         "Content-Type: application/json\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     )

@@ -8,15 +8,22 @@ Routes (all responses JSON; one request per connection):
     either bare or wrapped as ``{"config": {...}}``.  Response 200:
     ``{"fingerprint": ..., "result": {...}}`` where ``result`` is the
     :meth:`~repro.experiments.results.ExperimentResult.as_dict` document.
-    Response 429 when admission control rejects, 400 on bad configs.
+    Response 429 (with a ``Retry-After`` header) when admission control
+    rejects, 504 when the request exceeds its ``REPRO_SERVE_TIMEOUT_S``
+    deadline, 400 on bad configs.
 
 ``GET /stats``
-    Live counters: service (requests/coalesced/rejected/batches), the
-    cumulative sweep-runner accounting, and per-tier cache counters with
-    hit rates (see :meth:`EstimationService.describe`).
+    Live counters: service (requests/coalesced/rejected/batches/timeouts),
+    the cumulative sweep-runner accounting, per-tier cache counters with
+    hit rates and resilience state, and the health roll-up (see
+    :meth:`EstimationService.describe`).
 
 ``GET /healthz``
-    ``{"status": "ok"}`` once the listener is up.
+    ``{"status": "ok", "reasons": []}`` while fully healthy;
+    ``{"status": "degraded", "reasons": [...]}`` once any resilience
+    fallback engaged (memory-only cache tier, threads fallback after pool
+    breakage).  Degraded answers are still bit-for-bit correct — the
+    status flags lost persistence/parallelism, never wrong results.
 
 ``POST /shutdown``
     Acknowledges, then stops the server (used by scripted deployments and
@@ -37,7 +44,7 @@ import signal
 from typing import Any
 
 from repro.cache.fingerprint import experiment_fingerprint
-from repro.errors import ReproError, ServiceOverloadedError
+from repro.errors import ReproError, ServiceOverloadedError, ServiceTimeoutError
 from repro.experiments.config import ExperimentConfig
 from repro.serve.http import HttpError, HttpRequest, read_request, render_response
 from repro.serve.service import EstimationService, ServiceConfig
@@ -46,6 +53,11 @@ __all__ = ["DEFAULT_HOST", "DEFAULT_PORT", "EstimationServer", "serve"]
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8035
+
+#: ``Retry-After`` seconds suggested on 429 — long enough for the current
+#: batch window to drain whatever is wedging admission, short enough that
+#: well-behaved clients retry before giving up.
+RETRY_AFTER_S = 1
 
 
 def _env_host(environ: "dict[str, str] | None" = None) -> str:
@@ -108,14 +120,15 @@ class EstimationServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
+            headers: "dict[str, str]" = {}
             try:
                 request = await read_request(reader)
                 status, payload = await self._dispatch(request)
             except HttpError as exc:
-                status, payload = exc.status, {"error": exc.message}
+                status, payload, headers = exc.status, {"error": exc.message}, exc.headers
             except Exception as exc:  # noqa: BLE001 - must answer, not crash
                 status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
-            writer.write(render_response(status, payload))
+            writer.write(render_response(status, payload, headers))
             await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             pass  # client went away (or shutdown); nothing to answer
@@ -131,7 +144,7 @@ class EstimationServer:
         if route == ("GET", "/stats"):
             return 200, self.service.describe()
         if route == ("GET", "/healthz"):
-            return 200, {"status": "ok"}
+            return 200, self.service.health()
         if route == ("POST", "/shutdown"):
             # Answer first (the caller deserves an ack), then stop: the
             # event fires after this response is written because the
@@ -157,7 +170,11 @@ class EstimationServer:
         try:
             result = await self.service.submit(config)
         except ServiceOverloadedError as exc:
-            raise HttpError(429, str(exc)) from exc
+            raise HttpError(
+                429, str(exc), headers={"Retry-After": str(RETRY_AFTER_S)}
+            ) from exc
+        except ServiceTimeoutError as exc:
+            raise HttpError(504, str(exc)) from exc
         return 200, {
             "fingerprint": experiment_fingerprint(config),
             "result": self.service.render_result(config, result),

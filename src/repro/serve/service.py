@@ -31,6 +31,15 @@ in flight; the next new key is rejected with
 Duplicates of an in-flight key always coalesce — joining an existing
 future consumes no new capacity, so a thundering herd of identical
 requests cannot wedge the service.
+
+**Deadlines and health.**  ``timeout_s`` (``REPRO_SERVE_TIMEOUT_S``) caps
+how long any one waiter blocks: past the deadline it gets
+:class:`~repro.errors.ServiceTimeoutError` (HTTP 504 upstream) while the
+shielded computation keeps running for later duplicates and the cache.
+:meth:`EstimationService.health` rolls up the sticky degradations the
+resilience layer records — a cache tier fallen back to memory-only, a
+process pool abandoned for threads — into the ``/healthz`` body, so "still
+correct but needs attention" is observable without grepping logs.
 """
 
 from __future__ import annotations
@@ -44,10 +53,11 @@ from typing import Any, Callable, Mapping
 
 from repro.cache.fingerprint import experiment_fingerprint
 from repro.cache.store import DEFAULT_CACHE, peek_default_caches
-from repro.errors import ServiceOverloadedError, ServingError
+from repro.errors import ServiceOverloadedError, ServiceTimeoutError, ServingError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.results import ExperimentResult
 from repro.experiments.sweep import RunStats, run_configs
+from repro.faults import fault_point
 
 __all__ = ["ServiceConfig", "ServiceStats", "EstimationService"]
 
@@ -60,6 +70,16 @@ def _env_int(name: str, fallback: int, environ: Mapping[str, str]) -> int:
         return int(raw)
     except ValueError as exc:
         raise ServingError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+def _env_float(name: str, fallback: float, environ: Mapping[str, str]) -> float:
+    raw = environ.get(name, "").strip()
+    if not raw:
+        return fallback
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ServingError(f"{name} must be a number, got {raw!r}") from exc
 
 
 @dataclass(frozen=True)
@@ -78,6 +98,10 @@ class ServiceConfig:
     workers: int = 1
     #: execution backend for each batch (see :mod:`repro.parallel`)
     backend: str = "auto"
+    #: per-request deadline, seconds (0 disables); an expired waiter gets
+    #: :class:`~repro.errors.ServiceTimeoutError` (HTTP 504 upstream) while
+    #: the shared computation keeps running for any later duplicate
+    timeout_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_pending < 1:
@@ -90,6 +114,8 @@ class ServiceConfig:
             raise ServingError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.workers < 1:
             raise ServingError(f"workers must be >= 1, got {self.workers}")
+        if self.timeout_s < 0:
+            raise ServingError(f"timeout_s must be >= 0, got {self.timeout_s}")
 
     @classmethod
     def from_env(cls, environ: "Mapping[str, str] | None" = None) -> "ServiceConfig":
@@ -105,6 +131,7 @@ class ServiceConfig:
             max_batch=_env_int("REPRO_SERVE_MAX_BATCH", 16, env),
             workers=_env_int("REPRO_SERVE_WORKERS", 1, env),
             backend=env.get("REPRO_SERVE_BACKEND", "auto"),
+            timeout_s=_env_float("REPRO_SERVE_TIMEOUT_S", 0, env),
         )
 
 
@@ -127,6 +154,8 @@ class ServiceStats:
     #: survivors of a poisoned batch complete instead of inheriting the
     #: poison's exception
     isolated_retries: int = 0
+    #: requests whose waiter hit the per-request deadline (HTTP 504)
+    timeouts: int = 0
     #: cumulative sweep-runner accounting across all batches
     run: RunStats = field(default_factory=RunStats)
 
@@ -138,6 +167,7 @@ class ServiceStats:
             "errors": self.errors,
             "batches": self.batches,
             "isolated_retries": self.isolated_retries,
+            "timeouts": self.timeouts,
             "run": self.run.as_dict(),
         }
 
@@ -177,6 +207,10 @@ class EstimationService:
             max_workers=1, thread_name_prefix="repro-serve-compute"
         )
         self._closed = False
+        # Sticky record of a sweep-runner backend degradation (e.g. the
+        # process pool broke twice and fell back to threads); reported by
+        # health() until the process restarts.
+        self._degraded_backend = ""
 
     # ------------------------------------------------------------------ API
 
@@ -194,7 +228,7 @@ class EstimationService:
         existing = self._inflight.get(key)
         if existing is not None:
             self.stats.coalesced += 1
-            return await asyncio.shield(existing)
+            return await self._await_result(existing)
         if len(self._inflight) >= self.config.max_pending:
             self.stats.rejected += 1
             raise ServiceOverloadedError(
@@ -207,7 +241,27 @@ class EstimationService:
         self._queue.append((key, config))
         if self._batcher is None or self._batcher.done():
             self._batcher = loop.create_task(self._drain())
-        return await asyncio.shield(future)
+        return await self._await_result(future)
+
+    async def _await_result(
+        self, future: "asyncio.Future[ExperimentResult]"
+    ) -> ExperimentResult:
+        """Await a (possibly shared) result under the per-request deadline.
+
+        The shield keeps a timed-out or cancelled waiter from cancelling
+        the computation other coalesced requests still await; only this
+        waiter's deadline expires, as :class:`ServiceTimeoutError`.
+        """
+        waiter = asyncio.shield(future)
+        if self.config.timeout_s <= 0:
+            return await waiter
+        try:
+            return await asyncio.wait_for(waiter, self.config.timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise ServiceTimeoutError(
+                f"request exceeded its {self.config.timeout_s:g}s deadline"
+            ) from None
 
     @staticmethod
     def render_result(config: ExperimentConfig, result: ExperimentResult) -> dict[str, Any]:
@@ -228,17 +282,6 @@ class EstimationService:
         caches are lazy, so a service that has not yet computed anything
         reports no tiers rather than fabricating empty ones.
         """
-        tiers = {
-            name: cache.describe_memory()
-            for name, cache in peek_default_caches().items()
-        }
-        for name, cache in (
-            ("experiment", self._cache),
-            ("activity", self._activity_cache),
-            ("plan", self._plan_cache),
-        ):
-            if cache is not None and cache is not DEFAULT_CACHE:
-                tiers[name] = cache.describe_memory()
         return {
             "service": self.stats.as_dict(),
             "pending": len(self._inflight),
@@ -248,9 +291,48 @@ class EstimationService:
                 "max_batch": self.config.max_batch,
                 "workers": self.config.workers,
                 "backend": self.config.backend,
+                "timeout_s": self.config.timeout_s,
             },
-            "caches": tiers,
+            "caches": {
+                name: cache.describe_memory()
+                for name, cache in self._cache_tiers().items()
+            },
+            "health": self.health(),
         }
+
+    def health(self) -> dict[str, Any]:
+        """Degradation roll-up for ``/healthz``.
+
+        ``status`` is ``"degraded"`` when any cache tier fell back to
+        memory-only operation or the sweep runner abandoned its process
+        pool; ``reasons`` lists every sticky degradation.  Degraded means
+        "answers are still bit-for-bit correct but the deployment needs
+        attention" — hard failures surface on requests, not here.
+        """
+        reasons: "list[str]" = []
+        for name, cache in sorted(self._cache_tiers().items()):
+            resilience = getattr(cache, "resilience", None)
+            if resilience is not None and resilience.degraded:
+                reasons.append(f"cache.{name}: {resilience.degraded_reason}")
+        if self._degraded_backend:
+            reasons.append(
+                f"pool: fell back to the {self._degraded_backend} backend "
+                "after repeated process-pool breakage"
+            )
+        return {"status": "degraded" if reasons else "ok", "reasons": reasons}
+
+    def _cache_tiers(self) -> dict[str, Any]:
+        """The cache instances this service can describe: the process-wide
+        defaults it actually uses plus any explicit per-service overrides."""
+        tiers = dict(peek_default_caches())
+        for name, cache in (
+            ("experiment", self._cache),
+            ("activity", self._activity_cache),
+            ("plan", self._plan_cache),
+        ):
+            if cache is not None and cache is not DEFAULT_CACHE:
+                tiers[name] = cache
+        return tiers
 
     async def close(self) -> None:
         """Stop accepting work, fail pending futures, release the executor."""
@@ -302,8 +384,22 @@ class EstimationService:
         :class:`RunStats` into the service totals only when it succeeds."""
         run_stats = RunStats()
         loop = asyncio.get_running_loop()
-        job = partial(
-            self._compute,
+        job = partial(self._compute_batch, configs, run_stats)
+        results = await loop.run_in_executor(self._executor, job)
+        self._accumulate(run_stats)
+        return results
+
+    def _compute_batch(
+        self, configs: "list[ExperimentConfig]", run_stats: RunStats
+    ) -> "list[ExperimentResult]":
+        """Compute-thread entry point for one batch.
+
+        The ``serve.batch`` fault point fires here — on the compute thread,
+        where a real batch failure would surface — so injected batch faults
+        exercise exactly the isolation path production failures take.
+        """
+        fault_point("serve.batch")
+        return self._compute(
             configs,
             workers=self.config.workers,
             cache=self._cache,
@@ -312,9 +408,6 @@ class EstimationService:
             stats=run_stats,
             backend=self.config.backend,
         )
-        results = await loop.run_in_executor(self._executor, job)
-        self._accumulate(run_stats)
-        return results
 
     async def _isolate_batch_failure(
         self, batch: "list[tuple[str, ExperimentConfig]]", exc: Exception
@@ -360,3 +453,8 @@ class EstimationService:
         total.executed += run_stats.executed
         total.duration_s += run_stats.duration_s
         total.backend = run_stats.backend
+        total.pool_rebuilds += run_stats.pool_rebuilds
+        total.chunks_resubmitted += run_stats.chunks_resubmitted
+        if run_stats.degraded_backend:
+            total.degraded_backend = run_stats.degraded_backend
+            self._degraded_backend = run_stats.degraded_backend

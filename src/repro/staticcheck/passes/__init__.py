@@ -15,6 +15,8 @@ side effect.  One module per rule:
                           ``REPRO_*`` name with an extractable default
 ``api-drift``             ``__all__`` lists, the lazy-submodule map and the
                           ``repro.api`` façade stay mutually consistent
+``no-silent-swallow``     broad ``except`` handlers must re-raise, return,
+                          use the bound exception, or log — never swallow
 ========================  ====================================================
 """
 
@@ -24,6 +26,7 @@ from repro.staticcheck.passes import (  # noqa: F401  (imported for registration
     exports,
     locks,
     purity,
+    swallow,
 )
 
-__all__ = ["purity", "blocking", "locks", "envvars", "exports"]
+__all__ = ["purity", "blocking", "locks", "envvars", "exports", "swallow"]

@@ -1,0 +1,161 @@
+"""``no-silent-swallow``: broad exception handlers must fail loudly.
+
+The resilience layer's contract (``docs/resilience.md``) is "degrade
+loudly, never silently": a fault may be absorbed, but only while leaving a
+trace — a typed error re-raised, a sentinel returned, a counter or log
+line written.  The pattern that breaks the contract is the silent broad
+swallow::
+
+    try:
+        publish(entry)
+    except Exception:
+        pass          # fault absorbed, nobody will ever know
+
+This pass flags every ``except Exception``/``except BaseException``/bare
+``except`` handler in ``repro`` modules whose body does **none** of:
+
+* re-raise (any ``raise``),
+* return (a sentinel/fallback the caller can observe),
+* reference the bound exception name (``except Exception as exc`` + any
+  use of ``exc`` — error mapping, accounting, message building), or
+* call something that records the event (``logging``/``warnings``
+  functions, ``log``-like receivers, ``print``).
+
+Narrow handlers (``except OSError:``) are never flagged — catching a
+specific exception is a statement about what can happen; catching
+*everything* and discarding it is a statement that nothing matters.
+Intentional broad swallows that must stay earn a baseline entry with a
+written reason (see ``staticcheck-baseline.json``), which is exactly the
+loudness this rule is after.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.loader import Codebase, ModuleInfo
+from repro.staticcheck.model import Finding
+from repro.staticcheck.registry import register_pass
+from repro.staticcheck.walker import dotted_name
+
+__all__ = ["BROAD_NAMES", "LOG_METHODS", "check_swallow"]
+
+#: Exception names (after alias resolution) considered "broad".
+BROAD_NAMES = frozenset(
+    {"Exception", "BaseException", "builtins.Exception", "builtins.BaseException"}
+)
+
+#: Method names that count as logging when called on a log-like receiver.
+LOG_METHODS = frozenset(
+    {"debug", "info", "warning", "warn", "error", "exception", "critical", "log"}
+)
+
+_HINT = (
+    "re-raise, return a sentinel, use the bound exception (as exc + use of "
+    "exc), or log the event; if the swallow is genuinely benign, narrow the "
+    "exception type or add a baseline entry with a written reason"
+)
+
+#: ``TryStar`` exists from Python 3.11; alias it to ``Try`` earlier so the
+#: isinstance check below stays version-portable.
+_TRY_NODES = (ast.Try, getattr(ast, "TryStar", ast.Try))
+
+
+def _caught_label(handler: ast.ExceptHandler, aliases: "dict[str, str]") -> "str | None":
+    """``"bare"``/``"Exception"``/``"BaseException"`` when broad, else None."""
+    if handler.type is None:
+        return "bare"
+    exprs = (
+        handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    )
+    for expr in exprs:
+        dotted = dotted_name(expr)
+        if dotted is None:
+            continue
+        head, _, rest = dotted.partition(".")
+        canonical = aliases.get(head, head) + (f".{rest}" if rest else "")
+        if canonical in BROAD_NAMES or dotted in BROAD_NAMES:
+            return canonical.rpartition(".")[2]
+    return None
+
+
+def _is_loud(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body leaves any observable trace of the fault."""
+    bound = handler.name
+    for statement in handler.body:
+        for node in ast.walk(statement):
+            if isinstance(node, (ast.Raise, ast.Return)):
+                return True
+            if bound and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "print":
+                return True
+            if isinstance(func, ast.Attribute):
+                dotted = dotted_name(func)
+                if dotted is not None and dotted.partition(".")[0] in (
+                    "logging",
+                    "warnings",
+                ):
+                    return True
+                if func.attr in LOG_METHODS:
+                    receiver = dotted_name(func.value)
+                    if receiver is not None and "log" in receiver.lower():
+                        return True
+    return False
+
+
+def _check_module(info: ModuleInfo) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    #: (scope, label) -> count, for stable details when one function has
+    #: several silent handlers of the same breadth.
+    counters: "dict[tuple[str, str], int]" = {}
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                visit(child, f"{prefix}.{child.name}" if prefix else child.name)
+                continue
+            if isinstance(child, _TRY_NODES):
+                for handler in child.handlers:
+                    _check_handler(handler, prefix)
+            visit(child, prefix)
+
+    def _check_handler(handler: ast.ExceptHandler, prefix: str) -> None:
+        label = _caught_label(handler, info.aliases)
+        if label is None or _is_loud(handler):
+            return
+        scope = prefix or "<module>"
+        count = counters.get((scope, label), 0) + 1
+        counters[(scope, label)] = count
+        detail = f"{scope}:{label}" + (f"#{count}" if count > 1 else "")
+        caught = "bare except:" if label == "bare" else f"except {label}:"
+        findings.append(
+            Finding(
+                rule="no-silent-swallow",
+                file=info.relpath,
+                line=handler.lineno,
+                message=(
+                    f"{scope} swallows a broad exception silently "
+                    f"({caught} with no raise/return/exception-use/log)"
+                ),
+                detail=detail,
+                hint=_HINT,
+            )
+        )
+
+    visit(info.tree, "")
+    return findings
+
+
+@register_pass(
+    "no-silent-swallow",
+    "broad except handlers must re-raise, return, use the exception, or log",
+)
+def check_swallow(codebase: Codebase) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    for info in codebase.iter_modules("repro"):
+        findings.extend(_check_module(info))
+    return findings

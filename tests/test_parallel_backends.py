@@ -618,3 +618,45 @@ def test_cache_is_thread_safe(quiet_config):
     stats = cache.stats
     assert stats.lookups == 8 * 200
     assert stats.hits + stats.misses == stats.lookups
+
+
+class TestChaosEquivalence:
+    """Chaos parametrization: the processes backend keeps its bit-for-bit
+    equivalence contract while fault injection kills its workers (see
+    tests/test_faults.py for the full resilience matrix)."""
+
+    @pytest.mark.parametrize(
+        "schedule_text",
+        [
+            "pool.worker:kill@2",  # one breakage: rebuild + resubmit
+            "pool.worker:kill@1",  # every worker dies: threads fallback
+        ],
+    )
+    def test_killed_workers_never_change_results(
+        self, sweep, monkeypatch, schedule_text
+    ):
+        import repro.faults as faults
+
+        reference = _as_dicts(
+            run_configs(sweep, workers=1, cache=None, activity_cache=None)
+        )
+        monkeypatch.setenv("REPRO_FAULTS", schedule_text)
+        faults.reset()
+        try:
+            stats = RunStats()
+            survived = _as_dicts(
+                run_configs(
+                    sweep,
+                    workers=2,
+                    backend="processes",
+                    cache=None,
+                    activity_cache=None,
+                    stats=stats,
+                )
+            )
+        finally:
+            faults.reset()
+            monkeypatch.delenv("REPRO_FAULTS")
+        assert survived == reference
+        assert stats.pool_rebuilds == 1
+        assert stats.chunks_resubmitted > 0

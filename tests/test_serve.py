@@ -14,7 +14,7 @@ import urllib.request
 
 import pytest
 
-from repro.errors import ServiceOverloadedError, ServingError
+from repro.errors import ReproError, ServiceOverloadedError, ServingError
 from repro.experiments.harness import run_experiment
 from repro.serve.http import (
     HttpError,
@@ -288,7 +288,8 @@ class TestDescribe:
 
         asyncio.run(scenario())
         doc = service.describe()
-        assert set(doc) == {"service", "pending", "config", "caches"}
+        assert set(doc) == {"service", "pending", "config", "caches", "health"}
+        assert doc["health"] == {"status": "ok", "reasons": []}
         assert doc["pending"] == 0
         assert doc["service"]["requests"] == 2
         assert doc["service"]["batches"] >= 1
@@ -470,7 +471,10 @@ def run_with_server(scenario, service=None):
 class TestEstimationServer:
     def test_routes_and_errors(self):
         async def scenario(base, server):
-            assert await _client(_http_get, base, "/healthz") == (200, {"status": "ok"})
+            assert await _client(_http_get, base, "/healthz") == (
+                200,
+                {"status": "ok", "reasons": []},
+            )
             status, payload = await _client(_http_get, base, "/nowhere")
             assert status == 404 and "error" in payload
             status, payload = await _client(_http_get, base, "/estimate")
@@ -550,3 +554,43 @@ class TestEstimationServer:
             await asyncio.wait_for(server._stopping.wait(), timeout=5)
 
         run_with_server(scenario)
+
+
+class TestChaosBatches:
+    """Chaos parametrization: injected batch faults never leak a wrong or
+    stuck response to any waiter, coalesced or not (full fault matrix in
+    tests/test_faults.py)."""
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_coalesced_waiters_survive_injected_batch_fault(self, quiet_config, seed):
+        import repro.faults as faults
+
+        faults.install_schedule(
+            faults.FaultSchedule(
+                faults.parse_schedule("serve.batch:error@0.5"), seed=seed
+            )
+        )
+        try:
+            config = quiet_config()
+            compute = CountingCompute()
+            service = nocache_service(compute)
+
+            async def scenario():
+                try:
+                    return await asyncio.gather(
+                        *(service.submit(config) for _ in range(4)),
+                        return_exceptions=True,
+                    )
+                finally:
+                    await service.close()
+
+            outcomes = asyncio.run(scenario())
+        finally:
+            faults.reset()
+        direct = run_experiment(config, cache=None)
+        for outcome in outcomes:
+            # Every waiter resolved: the correct result or a typed error.
+            if isinstance(outcome, BaseException):
+                assert isinstance(outcome, ReproError)
+            else:
+                assert outcome.as_dict() == direct.as_dict()

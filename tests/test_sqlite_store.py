@@ -8,6 +8,8 @@ import sqlite3
 
 import pytest
 
+import repro.faults as faults
+from repro.cache.resilience import RetryPolicy
 from repro.cache.sqlite_store import (
     DB_FILENAME,
     SqliteStore,
@@ -246,3 +248,42 @@ class TestLifecycleOverSqlite:
         assert {entry.key for entry in report.removed} >= {"a"}
         assert {entry.key for entry in scan_cache_dir(tmp_path)} >= {"a"}
         assert (tmp_path / "legacy.json").exists()  # no migration side effect
+
+
+class TestChaosInjection:
+    """Chaos parametrization: every injected sqlite fault leaves the store
+    either serving correct data or raising OSError — never torn entries."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_schedule(self):
+        yield
+        faults.reset()
+
+    @pytest.mark.parametrize(
+        "schedule_text",
+        [
+            "cache.sqlite.write:busy@0.5",
+            "cache.sqlite.read:busy@0.5",
+            "cache.sqlite.write:busy@0.5;cache.sqlite.read:busy@0.5",
+        ],
+    )
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_busy_chaos_roundtrip_is_lossless(self, tmp_path, schedule_text, seed):
+        retry = RetryPolicy(attempts=6, base_delay_s=0.0005, max_delay_s=0.002)
+        faults.install_schedule(
+            faults.FaultSchedule(faults.parse_schedule(schedule_text), seed=seed)
+        )
+        store = SqliteStore(tmp_path, retry=retry)
+        expected = {}
+        for index in range(8):
+            key, payload = f"key{index}", json.dumps({"index": index})
+            try:
+                store.put(key, payload)
+            except OSError:
+                continue  # typed failure: the entry must then be absent...
+            expected[key] = payload
+        faults.uninstall_schedule()
+        for key, payload in expected.items():
+            assert store.get(key) == payload  # ...never torn or wrong
+        assert len(store) == len(expected)
+        store.close()

@@ -494,6 +494,118 @@ class TestExportsPass:
         assert _run_rule(tmp_path, "api-drift") == []
 
 
+class TestSwallowPass:
+    def test_silent_broad_handlers_flagged(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/mod.py",
+            """\
+            def cleanup(entry):
+                try:
+                    entry.close()
+                except Exception:
+                    pass
+
+
+            def publish(entry):
+                try:
+                    entry.flush()
+                except:
+                    entry.dirty = True
+            """,
+        )
+        findings = _run_rule(tmp_path, "no-silent-swallow")
+        assert [f.detail for f in findings] == ["cleanup:Exception", "publish:bare"]
+        assert [f.line for f in findings] == [4, 11]
+        assert all(f.rule == "no-silent-swallow" for f in findings)
+
+    def test_alias_tuple_and_nested_handlers_flagged(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/mod.py",
+            """\
+            import builtins as b
+
+
+            class Store:
+                def drop(self):
+                    def inner():
+                        try:
+                            self.conn.close()
+                        except (ValueError, b.BaseException):
+                            pass
+                    inner()
+            """,
+        )
+        findings = _run_rule(tmp_path, "no-silent-swallow")
+        assert len(findings) == 1
+        assert findings[0].detail == "Store.drop.inner:BaseException"
+
+    def test_loud_handlers_are_clean(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/mod.py",
+            """\
+            import logging
+
+
+            def mapped(entry):
+                try:
+                    return entry.load()
+                except Exception as exc:
+                    raise RuntimeError("load failed") from exc
+
+
+            def sentinel(entry):
+                try:
+                    return entry.load()
+                except Exception:
+                    return None
+
+
+            def accounted(entry, stats):
+                try:
+                    entry.flush()
+                except Exception as exc:
+                    stats.record(str(exc))
+
+
+            def logged(entry):
+                try:
+                    entry.flush()
+                except Exception:
+                    logging.warning("flush failed")
+
+
+            def narrow(entry):
+                try:
+                    entry.flush()
+                except OSError:
+                    pass
+            """,
+        )
+        assert _run_rule(tmp_path, "no-silent-swallow") == []
+
+    def test_same_scope_duplicates_get_stable_ordinals(self, tmp_path):
+        _write(
+            tmp_path,
+            "src/repro/mod.py",
+            """\
+            def twice(entry):
+                try:
+                    entry.open()
+                except Exception:
+                    pass
+                try:
+                    entry.close()
+                except Exception:
+                    pass
+            """,
+        )
+        findings = _run_rule(tmp_path, "no-silent-swallow")
+        assert [f.detail for f in findings] == ["twice:Exception", "twice:Exception#2"]
+
+
 class TestBaseline:
     def _seed_violation(self, root: Path) -> None:
         _write(root, "docs/configuration.md", "`REPRO_DEMO_KNOB`\n")
@@ -598,6 +710,7 @@ class TestCleanRepo:
             "env-registry",
             "fingerprint-purity",
             "lock-discipline",
+            "no-silent-swallow",
         ]
         assert report.modules > 100  # the loader actually saw the repo
 
