@@ -1,16 +1,21 @@
 #!/usr/bin/env python
 """Datacenter power capping with input-aware scheduling and data pruning.
 
-Two of the paper's motivating applications combined:
+Two of the paper's motivating applications combined, built on the fleet
+simulator (:mod:`repro.fleet`):
 
-1. **Power-aware scheduling** — a fleet of simulated GPUs runs a mix of GEMM
-   jobs whose power draw is predicted per-job from their input data; the
-   scheduler packs jobs into time slots without exceeding the provisioned
-   fleet power budget.
+1. **Power-aware fleet simulation** — a mixed-tenant trace of GEMM jobs
+   whose power draw is predicted per-workload from their input data is
+   placed onto a small modeled fleet.  Halfway through the trace a
+   fleet-wide power-cap event lands and propagates into DVFS frequency
+   scaling: capped jobs slow down and the cluster power series flattens
+   against the cap, all resolved through the estimation engine's cache
+   tiers (every workload is estimated once per GPU model, no matter how
+   many kernels the trace schedules).
 2. **Data pruning for power capping** — when a single job must fit under a
-   device-level cap, the smallest magnitude-pruning sparsity that satisfies
-   the cap is found with the power model, instead of sacrificing clock
-   frequency.
+   device-level cap, the smallest magnitude-pruning sparsity that
+   satisfies the cap is found with the power model, instead of
+   sacrificing clock frequency.
 
 The simulated NVML facade plays the role of the datacenter telemetry that
 would verify the cap in production.
@@ -20,72 +25,81 @@ Run with:  python examples/datacenter_power_capping.py
 
 from __future__ import annotations
 
+from repro import api
+from repro.fleet import CapEvent, FleetSpec, Trace, TraceJob, WorkloadSpec
 from repro.gpu.device import Device
 from repro.optimize.power_capping import find_sparsity_for_cap
-from repro.optimize.scheduler import FleetScheduler, GemmJob
 from repro.patterns.library import build_pattern
 from repro.telemetry.nvml import SimulatedNVML
 from repro.util.rng import derive_rng
-from repro.util.tables import format_table
 
 SIZE = 768
 DTYPE = "fp16_t"
 FLEET = ["a100", "a100", "h100"]
-FLEET_BUDGET_WATTS = 600.0
-DEVICE_CAP_WATTS = 0.0  # filled in below relative to the job's baseline
+CAP_TICK = 6  # fleet-wide cap event lands here
+CAP_WATTS = 60.0  # per-GPU cap, low enough to force DVFS throttling
+
+WORKLOADS = {
+    "dense-training-step": WorkloadSpec("gaussian", {}, DTYPE, SIZE),
+    "sorted-weights-serving": WorkloadSpec("sorted_rows", {"fraction": 1.0}, DTYPE, SIZE),
+    "pruned-model-serving": WorkloadSpec("sparsity", {"sparsity": 0.6}, DTYPE, SIZE),
+    "quantization-calibration": WorkloadSpec("value_set", {"set_size": 16}, DTYPE, SIZE),
+    "embedding-lookup-gemm": WorkloadSpec("zero_lsb", {"fraction": 0.5}, DTYPE, SIZE),
+}
 
 
-def make_job(name: str, family: str, **params) -> GemmJob:
-    pattern = build_pattern(family, DTYPE, **params)
-    rng_a = derive_rng(31, name, "A")
-    rng_b = derive_rng(31, name, "B")
-    activations = pattern.generate((SIZE, SIZE), DTYPE, rng_a)
-    weights = pattern.generate((SIZE, SIZE), DTYPE, rng_b)
-    return GemmJob(name, activations, weights, dtype=DTYPE, iterations=2000)
+def build_trace() -> Trace:
+    """Three tenants launching the workload mix over a 12-tick horizon."""
+    jobs = []
+    for tick in range(12):
+        for tenant, workload in (
+            ("training", "dense-training-step"),
+            ("serving", "sorted-weights-serving" if tick % 2 else "pruned-model-serving"),
+            ("batch", "quantization-calibration" if tick % 3 else "embedding-lookup-gemm"),
+        ):
+            jobs.append(
+                TraceJob(arrival_tick=tick, tenant=tenant, workload=workload, kernels=500)
+            )
+    return Trace(name="capping-demo", tick_s=60.0, workloads=WORKLOADS, jobs=jobs)
 
 
 def main() -> None:
-    devices = [Device.create(name, instance_id=i) for i, name in enumerate(FLEET)]
-    jobs = [
-        make_job("dense-training-step", "gaussian"),
-        make_job("sorted-weights-serving", "sorted_rows", fraction=1.0),
-        make_job("pruned-model-serving", "sparsity", sparsity=0.6),
-        make_job("quantization-calibration", "value_set", set_size=16),
-        make_job("embedding-lookup-gemm", "zero_lsb", fraction=0.5),
-    ]
-
-    scheduler = FleetScheduler(devices, power_budget_watts=FLEET_BUDGET_WATTS)
-    schedule = scheduler.schedule(jobs)
-
-    rows = [
-        [p.time_slot, p.job_name, FLEET[p.device_index], p.predicted_power_watts, p.duration_s]
-        for p in sorted(schedule.placements, key=lambda p: (p.time_slot, p.device_index))
-    ]
-    print(
-        format_table(
-            ["slot", "job", "device", "predicted_W", "duration_s"],
-            rows,
-            precision=2,
-            title=f"Fleet schedule under a {FLEET_BUDGET_WATTS:.0f} W budget "
-            f"(peak {schedule.peak_power_watts:.0f} W across {schedule.num_slots} slots)",
-        )
+    # --- 1. Fleet simulation with a mid-trace power-cap event -------------
+    trace = build_trace()
+    fleet = FleetSpec.from_counts(
+        {"a100": 2, "h100": 1},
+        cap_events=[CapEvent(tick=CAP_TICK, cap_watts=CAP_WATTS)],
     )
-    assert schedule.within_budget
+    result = api.simulate_fleet(trace, fleet)
+    print(result.render())
+    print(
+        f"\nCap event at tick {CAP_TICK} ({CAP_WATTS:.0f} W/GPU): "
+        f"{result.throttled_jobs} of {result.jobs} jobs ran DVFS-throttled; "
+        f"{result.distinct_configs} engine estimates covered "
+        f"{result.scheduled_kernels} scheduled kernels."
+    )
 
-    # Device-level cap on the heaviest job via data pruning.
-    heavy = jobs[0]
-    baseline_power = scheduler.predict_job(heavy, devices[0])[0]
+    # --- 2. Device-level cap on the heaviest job via data pruning ---------
+    heavy_name = "dense-training-step"
+    heavy = WORKLOADS[heavy_name]
+    devices = [Device.create(name, instance_id=i) for i, name in enumerate(FLEET)]
+    pattern = build_pattern(heavy.pattern_family, DTYPE, **dict(heavy.pattern_params))
+    activations = pattern.generate((SIZE, SIZE), DTYPE, derive_rng(31, heavy_name, "A"))
+    weights = pattern.generate((SIZE, SIZE), DTYPE, derive_rng(31, heavy_name, "B"))
+
+    baseline = api.run_experiment(heavy.to_config(gpu=devices[0].name))
+    baseline_power = baseline.mean_power_watts
     cap = baseline_power - 6.0
     plan = find_sparsity_for_cap(
-        heavy.activations, heavy.weights, power_cap_watts=cap, dtype=DTYPE, gpu=devices[0]
+        activations, weights, power_cap_watts=cap, dtype=DTYPE, gpu=devices[0]
     )
     print(
-        f"\nCapping '{heavy.name}' on {devices[0].name}: baseline {baseline_power:.1f} W, "
+        f"\nCapping '{heavy_name}' on {devices[0].name}: baseline {baseline_power:.1f} W, "
         f"cap {cap:.1f} W -> prune {plan.sparsity:.0%} of the smallest weights "
         f"({plan.capped.power_watts:.1f} W, relative error {plan.relative_error:.3f})."
     )
 
-    # Verify the capped job through the NVML facade, as a datacenter agent would.
+    # --- 3. Verify the capped job through the NVML facade ------------------
     with SimulatedNVML(devices) as nvml:
         handle = nvml.device_get_handle_by_index(0)
         nvml.attach_load(handle, power_watts=plan.capped.power_watts)

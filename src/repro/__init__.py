@@ -112,12 +112,13 @@ __all__ = [
     # lazily imported submodules (see module __getattr__)
     "api",
     "core",
+    "fleet",
     "serve",
 ]
 
 #: Submodules exposed lazily so ``import repro`` stays cheap and the
 #: ``serve`` *module* is never shadowed by a same-named function.
-_LAZY_SUBMODULES = ("api", "core", "serve")
+_LAZY_SUBMODULES = ("api", "core", "fleet", "serve")
 
 
 def __getattr__(name: str) -> object:

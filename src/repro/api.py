@@ -41,6 +41,10 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.plan import PlanCache, get_default_plan_cache
 from repro.experiments.results import ExperimentResult, SweepResult
 from repro.experiments.sweep import RunStats
+from repro.fleet.scheduler import CapEvent, FleetSpec
+from repro.fleet.simulator import FleetResult
+from repro.fleet.simulator import simulate as _fleet_simulate
+from repro.fleet.trace import Trace, generate_trace
 from repro.serve.server import serve
 from repro.serve.service import ServiceConfig
 
@@ -51,6 +55,13 @@ __all__ = [
     "run_sweep",
     "estimate_experiment",
     "serve",
+    # fleet-scale simulation (repro.fleet)
+    "simulate_fleet",
+    "generate_trace",
+    "Trace",
+    "FleetSpec",
+    "CapEvent",
+    "FleetResult",
     # configuration / results
     "ExperimentConfig",
     "ExperimentResult",
@@ -153,6 +164,38 @@ def run_sweep(
         progress=progress,
         stats=stats,
         backend=backend,
+    )
+
+
+def simulate_fleet(
+    trace: Trace,
+    fleet: FleetSpec,
+    *,
+    workers: int = 1,
+    backend: str = "auto",
+    cache: "object | None" = DEFAULT_CACHE,
+    activity_cache: "object | None" = DEFAULT_CACHE,
+    plan_cache: "object | None" = DEFAULT_CACHE,
+    stats: "RunStats | None" = None,
+    estimation_overrides: "dict[str, Any] | None" = None,
+) -> FleetResult:
+    """Replay a datacenter trace against a modeled GPU fleet.
+
+    Façade over :func:`repro.fleet.simulator.simulate` with every tuning
+    argument keyword-only.  Estimation goes through :func:`run_configs`,
+    so a warm simulation touches the engine zero times regardless of how
+    many kernels the trace schedules.
+    """
+    return _fleet_simulate(
+        trace,
+        fleet,
+        workers=workers,
+        backend=backend,
+        cache=cache,
+        activity_cache=activity_cache,
+        plan_cache=plan_cache,
+        stats=stats,
+        estimation_overrides=estimation_overrides,
     )
 
 

@@ -74,6 +74,10 @@ class InjectedFaultError(ReproError):
     """
 
 
+class FleetError(ReproError):
+    """Raised by the fleet-scale trace simulator (:mod:`repro.fleet`)."""
+
+
 class AnalysisError(ReproError):
     """Raised by analysis routines on inconsistent inputs."""
 

@@ -1,0 +1,73 @@
+"""Fleet-scale scenario simulation: from one GEMM to a datacenter trace.
+
+``repro.fleet`` composes the paper's per-kernel power estimates into
+cluster-level power/energy time series.  A seeded :class:`Trace` (diurnal
+LLM inference, training-step streams, mixed dtype/sparsity tenants — or
+your own JSON) is placed onto a modeled :class:`FleetSpec` of hundreds of
+GPUs by a :class:`DiscreteTimeScheduler` that resolves per-GPU power caps
+into DVFS frequency scaling, and :func:`simulate` folds the placements
+into a :class:`FleetResult` with per-tenant energy attribution.
+
+The estimation engine's cache tiers make this tractable: a million
+scheduled kernels collapse to one engine run per distinct (workload, GPU
+model) fingerprint, and a warm simulation issues none.  Everything is
+replayable — same trace + same ``REPRO_FLEET_SEED`` ⇒ bit-for-bit
+identical series on every execution backend.
+
+Command line::
+
+    python -m repro.fleet generate-trace --kind diurnal --out trace.json
+    python -m repro.fleet simulate trace.json --gpus a100:192,h100:64
+    python -m repro.fleet summarize result.json
+
+See ``docs/fleet.md`` for the trace wire format, the scheduler model and
+the attribution semantics.
+"""
+
+from repro.fleet.attribution import IDLE_TENANT, EnergyAttribution, attribute_energy
+from repro.fleet.scheduler import (
+    CapEvent,
+    DiscreteTimeScheduler,
+    FleetGPU,
+    FleetSchedule,
+    FleetSpec,
+    KernelEstimate,
+    ScheduledKernel,
+)
+from repro.fleet.simulator import FleetResult, build_estimates, simulate
+from repro.fleet.trace import (
+    GENERATORS,
+    Trace,
+    TraceJob,
+    WorkloadSpec,
+    default_fleet_seed,
+    generate_diurnal_trace,
+    generate_mixed_trace,
+    generate_trace,
+    generate_training_trace,
+)
+
+__all__ = [
+    "Trace",
+    "TraceJob",
+    "WorkloadSpec",
+    "GENERATORS",
+    "generate_trace",
+    "generate_diurnal_trace",
+    "generate_training_trace",
+    "generate_mixed_trace",
+    "default_fleet_seed",
+    "FleetGPU",
+    "CapEvent",
+    "FleetSpec",
+    "KernelEstimate",
+    "ScheduledKernel",
+    "FleetSchedule",
+    "DiscreteTimeScheduler",
+    "IDLE_TENANT",
+    "EnergyAttribution",
+    "attribute_energy",
+    "FleetResult",
+    "build_estimates",
+    "simulate",
+]

@@ -1,0 +1,102 @@
+"""Per-tenant power/energy attribution over a fleet schedule.
+
+Attribution is tick-quantized and *conservative by construction*: each
+placed job contributes its (cap-resolved) power to its tenant's series for
+every tick it occupies a GPU, idle GPU time contributes the spec idle
+power to the ``"(idle)"`` pseudo-tenant, and the cluster series is defined
+as the per-tick sum of the tenant series (in sorted tenant order, so the
+floating-point accumulation order — and therefore the result — is
+identical on every execution backend).  Total energy therefore equals the
+sum of per-tenant energies up to float addition error, which the property
+suite pins down to a relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.fleet.scheduler import FleetSchedule, FleetSpec
+
+__all__ = ["IDLE_TENANT", "EnergyAttribution", "attribute_energy"]
+
+#: Pseudo-tenant that absorbs idle-GPU power (when the fleet accounts it).
+IDLE_TENANT = "(idle)"
+
+
+@dataclass
+class EnergyAttribution:
+    """Per-tenant power series and energy totals for one simulation."""
+
+    tick_s: float
+    horizon_ticks: int
+    #: tenant -> per-tick power series (watts), length ``horizon_ticks``
+    tenant_power_watts: "dict[str, np.ndarray]" = field(default_factory=dict)
+
+    @property
+    def tenants(self) -> "list[str]":
+        return sorted(self.tenant_power_watts)
+
+    def cluster_power_watts(self) -> np.ndarray:
+        """Per-tick cluster power: the tenant series summed in sorted order."""
+        total = np.zeros(self.horizon_ticks, dtype=np.float64)
+        for tenant in self.tenants:
+            total += self.tenant_power_watts[tenant]
+        return total
+
+    def tenant_energy_j(self) -> "dict[str, float]":
+        """Energy per tenant over the whole horizon, joules."""
+        return {
+            tenant: float(series.sum(dtype=np.float64)) * self.tick_s
+            for tenant, series in sorted(self.tenant_power_watts.items())
+        }
+
+    def total_energy_j(self) -> float:
+        """Cluster energy over the whole horizon, joules."""
+        return float(self.cluster_power_watts().sum(dtype=np.float64)) * self.tick_s
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "tick_s": self.tick_s,
+            "horizon_ticks": self.horizon_ticks,
+            "tenant_power_watts": {
+                tenant: [float(v) for v in series]
+                for tenant, series in sorted(self.tenant_power_watts.items())
+            },
+        }
+
+
+def attribute_energy(
+    schedule: FleetSchedule, fleet: FleetSpec, tick_s: float
+) -> EnergyAttribution:
+    """Attribute every watt of a schedule to a tenant (or to idle).
+
+    Busy ticks carry the job's cap-resolved power (which already includes
+    the GPU's idle floor); idle ticks carry the spec idle power when the
+    fleet accounts idle draw.  The idle series starts from "every GPU idle
+    for the whole horizon" and subtracts each placement's occupancy, so it
+    is exact whatever the packing looks like.
+    """
+    horizon = schedule.horizon_ticks
+    attribution = EnergyAttribution(tick_s=float(tick_s), horizon_ticks=horizon)
+    for placement in schedule.placements:
+        series = attribution.tenant_power_watts.get(placement.tenant)
+        if series is None:
+            series = np.zeros(horizon, dtype=np.float64)
+            attribution.tenant_power_watts[placement.tenant] = series
+        series[placement.start_tick : placement.end_tick] += placement.power_watts
+
+    if fleet.include_idle_power and horizon > 0:
+        idle_total = float(sum(fleet.spec(g).idle_watts for g in range(len(fleet))))
+        idle = np.full(horizon, idle_total, dtype=np.float64)
+        for placement in schedule.placements:
+            idle[placement.start_tick : placement.end_tick] -= fleet.spec(
+                placement.gpu_index
+            ).idle_watts
+        # Guard against float cancellation turning an exactly-busy tick into
+        # a tiny negative idle contribution.
+        np.maximum(idle, 0.0, out=idle)
+        attribution.tenant_power_watts[IDLE_TENANT] = idle
+    return attribution

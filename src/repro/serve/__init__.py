@@ -18,6 +18,7 @@ or programmatically via :func:`repro.serve.serve` /
 protocol and ``docs/configuration.md`` for the ``REPRO_SERVE_*`` knobs.
 """
 
+from repro.serve.replay import ReplayReport, replay_trace
 from repro.serve.server import DEFAULT_HOST, DEFAULT_PORT, EstimationServer, serve
 from repro.serve.service import EstimationService, ServiceConfig, ServiceStats
 
@@ -26,7 +27,9 @@ __all__ = [
     "DEFAULT_PORT",
     "EstimationServer",
     "EstimationService",
+    "ReplayReport",
     "ServiceConfig",
     "ServiceStats",
+    "replay_trace",
     "serve",
 ]

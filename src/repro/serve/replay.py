@@ -1,0 +1,106 @@
+"""Replay a fleet trace through a running :class:`EstimationService`.
+
+This is the serving-side twin of :func:`repro.fleet.simulate`: instead of
+resolving a trace's workloads through ``run_configs`` directly, each trace
+job is submitted to an :class:`~repro.serve.service.EstimationService` as
+if it were an independent client request.  Because jobs are submitted
+concurrently and the service coalesces on the experiment fingerprint,
+a trace with many jobs over few distinct workloads exercises exactly the
+serving behaviour a real inference fleet would: the first request per
+distinct workload computes, every duplicate coalesces, and the cache
+tiers absorb repeats across replays.
+
+Usage::
+
+    service = EstimationService()
+    report = asyncio.run_coroutine_threadsafe(...)  # or inside a loop:
+    report = await replay_trace(service, trace, gpu="a100")
+    assert report.coalesced >= 1
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.results import ExperimentResult
+from repro.fleet.trace import Trace
+from repro.serve.service import EstimationService
+
+__all__ = ["ReplayReport", "replay_trace"]
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of one trace replay against a service."""
+
+    trace_name: str
+    #: trace jobs submitted as requests
+    requests: int = 0
+    #: distinct workload configurations among those requests
+    distinct_configs: int = 0
+    #: requests that joined an in-flight computation (service counter delta)
+    coalesced: int = 0
+    #: workload name -> its (shared) estimation result
+    results: "dict[str, ExperimentResult]" = field(default_factory=dict)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "trace": self.trace_name,
+            "requests": self.requests,
+            "distinct_configs": self.distinct_configs,
+            "coalesced": self.coalesced,
+            "workloads": sorted(self.results),
+        }
+
+
+def _job_configs(
+    trace: Trace, gpu: str, overrides: "dict[str, Any] | None"
+) -> "list[tuple[str, ExperimentConfig]]":
+    """(workload name, config) per job, in trace order."""
+    extra = dict(overrides or {})
+    by_workload: "dict[str, ExperimentConfig]" = {}
+    pairs: "list[tuple[str, ExperimentConfig]]" = []
+    for job in trace.jobs:
+        config = by_workload.get(job.workload)
+        if config is None:
+            config = trace.workloads[job.workload].to_config(gpu=gpu, **extra)
+            by_workload[job.workload] = config
+        pairs.append((job.workload, config))
+    return pairs
+
+
+async def replay_trace(
+    service: EstimationService,
+    trace: Trace,
+    *,
+    gpu: str = "a100",
+    limit: "int | None" = None,
+    estimation_overrides: "dict[str, Any] | None" = None,
+) -> ReplayReport:
+    """Submit every trace job to ``service`` concurrently; return the report.
+
+    ``limit`` caps how many jobs are replayed (``None`` = all); jobs keep
+    their trace order but all submissions are in flight together, so
+    duplicate workloads coalesce instead of consuming admission capacity.
+    ``estimation_overrides`` applies extra :class:`ExperimentConfig` field
+    overrides to every workload (tests pin quiet telemetry this way).
+    """
+    pairs = _job_configs(trace, gpu, estimation_overrides)
+    if limit is not None:
+        pairs = pairs[:limit]
+    report = ReplayReport(trace_name=trace.name)
+    report.requests = len(pairs)
+    report.distinct_configs = len({name for name, _ in pairs})
+    if not pairs:
+        return report
+    coalesced_before = service.stats.coalesced
+    results = await asyncio.gather(
+        *(service.submit(config) for _, config in pairs)
+    )
+    for (name, _), result in zip(pairs, results):
+        report.results[name] = result
+    report.coalesced = service.stats.coalesced - coalesced_before
+    return report

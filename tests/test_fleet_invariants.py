@@ -1,0 +1,238 @@
+"""Property suite (hypothesis) for the fleet scheduler and attribution.
+
+The invariants the ISSUE pins down:
+
+* per-tenant energy attribution sums to the cluster total within float
+  tolerance (conservation);
+* the cluster power series is non-negative everywhere and never exceeds
+  the sum of the active per-GPU power limits;
+* an empty trace produces a zero-length series;
+* the scheduler never double-books a GPU in a tick.
+
+Estimates are synthetic (drawn by hypothesis, resolved through the real
+:class:`KernelEstimate`/ClockModel DVFS path) so every example is pure
+arithmetic — no engine runs, thousands of examples stay fast.  The
+engine-backed end-to-end versions of these invariants run once each in
+``TestEndToEnd`` below.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    CapEvent,
+    DiscreteTimeScheduler,
+    FleetSpec,
+    IDLE_TENANT,
+    KernelEstimate,
+    Trace,
+    TraceJob,
+    WorkloadSpec,
+    attribute_energy,
+    simulate,
+)
+from repro.gpu.specs import get_gpu_spec
+
+WORKLOAD_NAMES = ("w0", "w1", "w2")
+#: Shared catalogue: workload axes don't matter for synthetic estimates,
+#: only the names do.
+CATALOGUE = {
+    name: WorkloadSpec(matrix_size=128, iterations=100) for name in WORKLOAD_NAMES
+}
+#: Feasible caps: comfortably above the idle floor and the largest
+#: synthetic unconstrained power's MIN_CLOCK_SCALE floor, so the DVFS
+#: resolution can always satisfy the limit and "series <= sum of active
+#: caps" is a real guarantee rather than vacuously clamped.
+MIN_CAP = 150.0
+
+jobs_strategy = st.lists(
+    st.builds(
+        TraceJob,
+        arrival_tick=st.integers(min_value=0, max_value=12),
+        tenant=st.sampled_from(["alice", "bob", "carol"]),
+        workload=st.sampled_from(list(WORKLOAD_NAMES)),
+        kernels=st.integers(min_value=1, max_value=2_000),
+    ),
+    min_size=0,
+    max_size=24,
+)
+
+fleet_strategy = st.builds(
+    lambda counts, cap, event_tick, event_cap: FleetSpec.from_counts(
+        {model: n for model, n in counts.items() if n > 0} or {"a100": 1},
+        cap_watts=cap,
+        cap_events=[CapEvent(tick=event_tick, cap_watts=event_cap)],
+    ),
+    counts=st.fixed_dictionaries(
+        {
+            "a100": st.integers(min_value=0, max_value=4),
+            "h100": st.integers(min_value=0, max_value=2),
+        }
+    ),
+    cap=st.one_of(st.none(), st.floats(min_value=MIN_CAP, max_value=800.0)),
+    event_tick=st.integers(min_value=0, max_value=10),
+    event_cap=st.one_of(st.none(), st.floats(min_value=MIN_CAP, max_value=800.0)),
+)
+
+estimate_params = st.fixed_dictionaries(
+    {
+        "power": st.floats(min_value=40.0, max_value=140.0),
+        "base_time": st.floats(min_value=1e-4, max_value=30.0),
+    }
+)
+
+
+def synthetic_estimates(fleet: FleetSpec, draws: "dict[str, dict[str, float]]"):
+    return {
+        (workload, model): KernelEstimate(
+            workload=workload,
+            gpu_model=model,
+            unconstrained_power_watts=draws[workload]["power"],
+            base_iteration_time_s=draws[workload]["base_time"],
+            spec=get_gpu_spec(model),
+        )
+        for workload in WORKLOAD_NAMES
+        for model in fleet.models()
+    }
+
+
+def run_case(jobs, fleet, draws, tick_s=60.0):
+    trace = Trace(name="prop", tick_s=tick_s, workloads=CATALOGUE, jobs=jobs)
+    schedule = DiscreteTimeScheduler(fleet).schedule(
+        trace, synthetic_estimates(fleet, draws)
+    )
+    attribution = attribute_energy(schedule, fleet, tick_s)
+    return trace, schedule, attribution
+
+
+case_strategy = st.tuples(
+    jobs_strategy,
+    fleet_strategy,
+    st.fixed_dictionaries({name: estimate_params for name in WORKLOAD_NAMES}),
+)
+
+
+class TestSchedulerInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_never_double_books_a_gpu(self, case):
+        jobs, fleet, draws = case
+        _, schedule, _ = run_case(jobs, fleet, draws)
+        by_gpu: "dict[int, list[tuple[int, int]]]" = {}
+        for placement in schedule.placements:
+            by_gpu.setdefault(placement.gpu_index, []).append(
+                (placement.start_tick, placement.end_tick)
+            )
+        for spans in by_gpu.values():
+            spans.sort()
+            for (_, prev_end), (start, _) in zip(spans, spans[1:]):
+                assert start >= prev_end, "two jobs overlap on one GPU"
+
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_every_job_placed_after_arrival_with_positive_span(self, case):
+        jobs, fleet, draws = case
+        trace, schedule, _ = run_case(jobs, fleet, draws)
+        assert len(schedule.placements) == len(jobs)
+        for placement in schedule.placements:
+            assert placement.end_tick > placement.start_tick
+            assert placement.start_tick >= trace.jobs[placement.job_index].arrival_tick
+
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_placed_power_respects_the_limit_at_start(self, case):
+        jobs, fleet, draws = case
+        _, schedule, _ = run_case(jobs, fleet, draws)
+        for placement in schedule.placements:
+            limit = fleet.power_limit_at(placement.start_tick, placement.gpu_index)
+            assert placement.power_watts <= limit + 1e-9
+
+
+class TestAttributionInvariants:
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_attribution_conserves_energy(self, case):
+        jobs, fleet, draws = case
+        _, _, attribution = run_case(jobs, fleet, draws)
+        total = attribution.total_energy_j()
+        parts = sum(attribution.tenant_energy_j().values())
+        assert total == pytest.approx(parts, rel=1e-9, abs=1e-6)
+
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_power_series_non_negative_and_capped(self, case):
+        jobs, fleet, draws = case
+        _, _, attribution = run_case(jobs, fleet, draws)
+        series = attribution.cluster_power_watts()
+        assert np.all(series >= 0.0)
+        for tick, value in enumerate(series):
+            cap_sum = sum(
+                fleet.power_limit_at(tick, g) for g in range(len(fleet))
+            )
+            assert value <= cap_sum + 1e-6
+
+    @settings(max_examples=120, deadline=None)
+    @given(case=case_strategy)
+    def test_empty_trace_zero_length_series(self, case):
+        _, fleet, draws = case
+        _, schedule, attribution = run_case([], fleet, draws)
+        assert schedule.horizon_ticks == 0
+        assert attribution.cluster_power_watts().shape == (0,)
+        assert attribution.total_energy_j() == 0.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(case=case_strategy)
+    def test_idle_tenant_only_when_accounted(self, case):
+        jobs, fleet, draws = case
+        trace, schedule, attribution = run_case(jobs, fleet, draws)
+        if jobs and fleet.include_idle_power:
+            assert IDLE_TENANT in attribution.tenant_power_watts
+            assert np.all(attribution.tenant_power_watts[IDLE_TENANT] >= 0.0)
+
+
+class TestEndToEnd:
+    """The same invariants through the real estimation engine, once."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        trace = Trace(
+            name="e2e",
+            tick_s=60.0,
+            workloads={
+                "dense": WorkloadSpec(matrix_size=128, iterations=500, seeds=1),
+                "sparse": WorkloadSpec(
+                    pattern_family="sparsity",
+                    pattern_params={"sparsity": 0.5},
+                    matrix_size=128,
+                    iterations=500,
+                    seeds=1,
+                ),
+            },
+            jobs=tuple(
+                TraceJob(arrival_tick=t, tenant=tenant, workload=workload, kernels=200)
+                for t in range(4)
+                for tenant, workload in (("a", "dense"), ("b", "sparse"))
+            ),
+        )
+        fleet = FleetSpec.from_counts({"a100": 2}, cap_watts=200.0)
+        return simulate(trace, fleet, cache=None, activity_cache=None)
+
+    def test_conservation(self, result):
+        total = result.total_energy_j
+        parts = sum(result.tenant_energy_j().values())
+        assert total == pytest.approx(parts, rel=1e-9)
+
+    def test_series_bounds(self, result):
+        series = np.asarray(result.power_series_watts())
+        assert np.all(series >= 0.0)
+        assert np.all(series <= 2 * 200.0 + 1e-6)
+
+    def test_energy_matches_series_sum(self, result):
+        series = result.power_series_watts()
+        assert result.total_energy_j == pytest.approx(
+            float(sum(series)) * result.tick_s, rel=1e-9
+        )
