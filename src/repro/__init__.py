@@ -113,12 +113,13 @@ __all__ = [
     "api",
     "core",
     "fleet",
+    "optimize",
     "serve",
 ]
 
 #: Submodules exposed lazily so ``import repro`` stays cheap and the
 #: ``serve`` *module* is never shadowed by a same-named function.
-_LAZY_SUBMODULES = ("api", "core", "fleet", "serve")
+_LAZY_SUBMODULES = ("api", "core", "fleet", "optimize", "serve")
 
 
 def __getattr__(name: str) -> object:

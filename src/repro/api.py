@@ -45,6 +45,8 @@ from repro.fleet.scheduler import CapEvent, FleetSpec
 from repro.fleet.simulator import FleetResult
 from repro.fleet.simulator import simulate as _fleet_simulate
 from repro.fleet.trace import Trace, generate_trace
+from repro.optimize.engines import OptimizationResult
+from repro.optimize.engines import run_study as _run_study
 from repro.serve.server import serve
 from repro.serve.service import ServiceConfig
 
@@ -55,6 +57,9 @@ __all__ = [
     "run_sweep",
     "estimate_experiment",
     "serve",
+    # optimization studies (repro.optimize.engines)
+    "optimize",
+    "OptimizationResult",
     # fleet-scale simulation (repro.fleet)
     "simulate_fleet",
     "generate_trace",
@@ -196,6 +201,39 @@ def simulate_fleet(
         plan_cache=plan_cache,
         stats=stats,
         estimation_overrides=estimation_overrides,
+    )
+
+
+def optimize(
+    study: "Any",
+    *,
+    workers: int = 1,
+    backend: str = "auto",
+    cache: "object | None" = DEFAULT_CACHE,
+    activity_cache: "object | None" = DEFAULT_CACHE,
+    plan_cache: "object | None" = DEFAULT_CACHE,
+    max_evaluations: "int | None" = None,
+    checkpoint_path: "Any | None" = None,
+) -> OptimizationResult:
+    """Run an optimization study (path or mapping) to convergence.
+
+    Façade over :func:`repro.optimize.engines.run_study` with every tuning
+    argument keyword-only.  Each engine proposal is evaluated through
+    :func:`run_configs`, so re-running a deterministic study against warm
+    caches touches the estimation engine zero times; the returned
+    :class:`OptimizationResult` records the replayable trajectory (see
+    ``python -m repro.optimize`` for the CLI and ``--expect`` replay
+    checks).
+    """
+    return _run_study(
+        study,
+        workers=workers,
+        backend=backend,
+        cache=cache,
+        activity_cache=activity_cache,
+        plan_cache=plan_cache,
+        max_evaluations=max_evaluations,
+        checkpoint_path=checkpoint_path,
     )
 
 

@@ -18,9 +18,17 @@ from repro.experiments.figures.fig5_placement import run_fig5_placement
 from repro.experiments.figures.fig6_sparsity import run_fig6_sparsity
 from repro.experiments.figures.fig7_generalization import run_fig7_generalization
 from repro.experiments.figures.fig8_alignment import run_fig8_alignment
+from repro.experiments.figures.opt_trajectory import run_opt_trajectory
 from repro.experiments.results import FigureResult
 
-__all__ = ["FIGURES", "FigureSettings", "run_figure", "list_figures"]
+__all__ = [
+    "FIGURES",
+    "FigureSettings",
+    "run_figure",
+    "list_figures",
+    # figure-style drivers that are not paper figures (not in FIGURES)
+    "run_opt_trajectory",
+]
 
 FIGURES: dict[str, Callable[..., FigureResult]] = {
     "fig1": run_fig1_runtime,

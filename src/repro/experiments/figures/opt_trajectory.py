@@ -1,0 +1,122 @@
+"""Optimization-trajectory driver: the three engines on a real objective.
+
+Not a paper figure — a figure-*style* driver for the
+:mod:`repro.optimize.engines` subsystem.  All three engines minimize
+mean power over the magnitude-sparsity knob of one experiment
+configuration (the paper's T12 monotonicity makes the optimum the
+sparsest point, so convergence is easy to eyeball), and each panel's
+sweep is the *incumbent-best* experiment result after every engine
+iteration — a convergence trajectory in the same
+:class:`~repro.experiments.results.FigureResult` shape the paper-figure
+drivers produce.
+
+The bisection panel answers the threshold form of the same question:
+the smallest sparsity whose power fits under a cap halfway between the
+dense and fully-sparse extremes.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures.common import FigureSettings, base_config, resolve_settings
+from repro.experiments.results import FigureResult, SweepResult
+from repro.experiments.sweep import run_configs
+from repro.optimize.engines import (
+    BisectionEngine,
+    ConfigObjective,
+    Dimension,
+    NelderMeadEngine,
+    OptimizationRunner,
+    ParameterSpace,
+    RandomRefineEngine,
+)
+
+__all__ = ["run_opt_trajectory"]
+
+_MAX_SPARSITY = 0.95
+
+
+def _trajectory_panel(runner: OptimizationRunner) -> "SweepResult | None":
+    """Incumbent-best result after each iteration, as a pseudo-sweep."""
+    runner.run()
+    values = []
+    results = []
+    for record, result in zip(runner.history, runner.incumbent_results):
+        if result is None:
+            continue
+        values.append(record.index)
+        results.append(result)
+    if not results:
+        return None
+    return SweepResult(
+        parameter="iteration",
+        values=values,
+        results=results,
+        label=runner.engine.name,
+    )
+
+
+def run_opt_trajectory(settings: "FigureSettings | None" = None) -> FigureResult:
+    """Run all three engines against the sparsity/power objective."""
+    settings = resolve_settings(settings)
+    base = base_config(settings, dtype="fp16_t", pattern_family="sparsity", sparsity=0.0)
+    space = ParameterSpace([Dimension(name="sparsity", low=0.0, high=_MAX_SPARSITY)])
+    objective = ConfigObjective(base=base, metric="mean_power_watts", mode="min")
+
+    figure = FigureResult(
+        name="opt_trajectory",
+        description="engine convergence on the sparsity/power objective",
+    )
+
+    # Shared endpoints: dense and fully-sparse power pin the cap target
+    # for the bisection panel (halfway between the extremes).
+    endpoints = run_configs(
+        [space.to_config({"sparsity": 0.0}, base), space.to_config({"sparsity": _MAX_SPARSITY}, base)],
+        workers=settings.workers,
+        backend=settings.backend,
+    )
+    dense_watts = endpoints[0].mean_power_watts
+    sparse_watts = endpoints[1].mean_power_watts
+    cap_watts = 0.5 * (dense_watts + sparse_watts)
+
+    runners = {
+        "nelder_mead": OptimizationRunner(
+            NelderMeadEngine(space, seed=0, max_iterations=2 * settings.sweep_points),
+            objective,
+            workers=settings.workers,
+            backend=settings.backend,
+            keep_results=True,
+        ),
+        "random": OptimizationRunner(
+            RandomRefineEngine(space, seed=0, rounds=settings.sweep_points, batch_size=4),
+            objective,
+            workers=settings.workers,
+            backend=settings.backend,
+            keep_results=True,
+        ),
+        "bisection": OptimizationRunner(
+            BisectionEngine(space, target=cap_watts, direction="decreasing"),
+            objective,
+            workers=settings.workers,
+            backend=settings.backend,
+            keep_results=True,
+        ),
+    }
+    for key, runner in runners.items():
+        panel = _trajectory_panel(runner)
+        if panel is not None:
+            figure.add_panel(key, panel)
+
+    figure.notes.append(
+        f"dense {dense_watts:.2f} W, sparse({_MAX_SPARSITY}) {sparse_watts:.2f} W; "
+        f"bisection cap target {cap_watts:.2f} W"
+    )
+    figure.notes.append(
+        "each panel tracks the incumbent-best experiment result per engine iteration"
+    )
+    best = runners["nelder_mead"].engine.best
+    if best is not None:
+        figure.notes.append(
+            f"nelder_mead best sparsity {best.point['sparsity']:.4f} "
+            f"at {best.objective:.2f} W"
+        )
+    return figure

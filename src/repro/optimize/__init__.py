@@ -15,8 +15,31 @@ working versions of each:
   semantics-preserving transforms.
 * :mod:`repro.optimize.scheduler` — power-aware placement of GEMM jobs
   across a fleet of GPUs under a total power budget.
+* :mod:`repro.optimize.engines` — stateful optimization engines
+  (Nelder–Mead, bisection, random/grid-refine) and the
+  :class:`~repro.optimize.engines.OptimizationRunner` that drives them
+  through the cached sweep machinery.  ``python -m repro.optimize`` runs
+  study files from the command line.
 """
 
+from repro.optimize.engines import (
+    BisectionEngine,
+    ConfigObjective,
+    Constraint,
+    Dimension,
+    Evaluation,
+    NelderMeadEngine,
+    OptimizationEngine,
+    OptimizationResult,
+    OptimizationRunner,
+    ParameterSpace,
+    RandomRefineEngine,
+    engine_from_state,
+    get_engine,
+    list_engines,
+    load_study,
+    run_study,
+)
 from repro.optimize.estimation import quick_power_estimate
 from repro.optimize.compiler import GemmOp, Pipeline, PowerAwareCompiler
 from repro.optimize.permutation import (
@@ -31,6 +54,24 @@ from repro.optimize.sparsity_design import SparsityDesign, design_sparsity
 from repro.optimize.weight_shift import WeightShiftResult, shift_weights_for_power
 
 __all__ = [
+    # optimization engines (repro.optimize.engines)
+    "OptimizationEngine",
+    "Evaluation",
+    "BisectionEngine",
+    "NelderMeadEngine",
+    "RandomRefineEngine",
+    "Dimension",
+    "ParameterSpace",
+    "OptimizationRunner",
+    "ConfigObjective",
+    "Constraint",
+    "OptimizationResult",
+    "engine_from_state",
+    "get_engine",
+    "list_engines",
+    "load_study",
+    "run_study",
+    # power-aware transforms
     "quick_power_estimate",
     "shift_weights_for_power",
     "WeightShiftResult",

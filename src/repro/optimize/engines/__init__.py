@@ -1,0 +1,81 @@
+"""Stateful optimization engines and the runner that drives them.
+
+Importing this package registers every engine (the ``@register_engine``
+decorators fire as the modules load), so ``get_engine("nelder_mead")``
+etc. work after a plain ``import repro.optimize.engines``.
+
+Registered engines:
+
+========== ====================================== ============================
+Name       Class                                  For
+========== ====================================== ============================
+bisection  :class:`BisectionEngine`               monotone 1-D threshold search
+nelder_mead :class:`NelderMeadEngine`             continuous minimization
+random     :class:`RandomRefineEngine`            baseline / seeding
+========== ====================================== ============================
+"""
+
+from repro.optimize.engines.base import (
+    ENGINES,
+    Evaluation,
+    OptimizationEngine,
+    Point,
+    engine_from_state,
+    get_engine,
+    list_engines,
+    register_engine,
+)
+from repro.optimize.engines.bisection import BisectionEngine
+from repro.optimize.engines.nelder_mead import NelderMeadEngine
+from repro.optimize.engines.random_search import RandomRefineEngine
+from repro.optimize.engines.result import (
+    RESULT_FORMAT,
+    IterationRecord,
+    OptimizationResult,
+)
+from repro.optimize.engines.runner import (
+    CHECKPOINT_FORMAT,
+    METRICS,
+    STUDY_FORMAT,
+    ConfigObjective,
+    Constraint,
+    OptimizationRunner,
+    build_runner,
+    load_study,
+    run_study,
+)
+from repro.optimize.engines.space import CONFIG_FIELD_TARGETS, Dimension, ParameterSpace
+
+__all__ = [
+    # protocol + registry
+    "OptimizationEngine",
+    "Evaluation",
+    "Point",
+    "ENGINES",
+    "register_engine",
+    "get_engine",
+    "list_engines",
+    "engine_from_state",
+    # engines
+    "BisectionEngine",
+    "NelderMeadEngine",
+    "RandomRefineEngine",
+    # parameter space
+    "Dimension",
+    "ParameterSpace",
+    "CONFIG_FIELD_TARGETS",
+    # runner + studies
+    "OptimizationRunner",
+    "ConfigObjective",
+    "Constraint",
+    "METRICS",
+    "build_runner",
+    "load_study",
+    "run_study",
+    "STUDY_FORMAT",
+    "CHECKPOINT_FORMAT",
+    # results
+    "IterationRecord",
+    "OptimizationResult",
+    "RESULT_FORMAT",
+]

@@ -1,0 +1,219 @@
+"""Replayable history of one optimization run.
+
+An :class:`OptimizationResult` records, per engine iteration, what was
+proposed, what it scored, and what the evaluation *cost* (the
+``run_configs`` counters: engine runs vs cache hits) — enough to replay,
+diff, and audit a run.  :meth:`OptimizationResult.summary` is the replay
+contract used by ``python -m repro.optimize --expect``: floats rounded
+to six decimals, wall-clock and cache counters excluded, so the same
+study with the same seed produces the identical summary on any machine
+and any cache temperature.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import OptimizationError
+from repro.optimize.engines.base import INFEASIBLE, Point
+
+__all__ = ["IterationRecord", "OptimizationResult", "RESULT_FORMAT"]
+
+#: Wire-format tag checked by :meth:`OptimizationResult.from_dict`.
+RESULT_FORMAT = "repro.optimize.result/v1"
+
+
+def _encode_objective(value: "float | None") -> "float | None":
+    if value is None or math.isinf(value):
+        return None
+    return float(value)
+
+
+def _round(value: "float | None", digits: int = 6) -> "float | None":
+    return None if value is None else round(float(value), digits)
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """One propose → evaluate → ingest round."""
+
+    index: int
+    proposals: "list[Point]"
+    #: minimization objective per proposal; ``None`` = rejected by a
+    #: feasibility filter (internally ``math.inf``)
+    objectives: "list[float | None]"
+    feasible: "list[bool]"
+    best_point: "Point | None"
+    best_objective: "float | None"
+    #: ``run_configs`` counters for this batch ({} for callable objectives)
+    run_stats: "dict[str, int]" = field(default_factory=dict)
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "index": self.index,
+            "proposals": [dict(p) for p in self.proposals],
+            "objectives": [_encode_objective(v) for v in self.objectives],
+            "feasible": list(self.feasible),
+            "best_point": None if self.best_point is None else dict(self.best_point),
+            "best_objective": _encode_objective(self.best_objective),
+            "run_stats": dict(self.run_stats),
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "IterationRecord":
+        return cls(
+            index=int(data["index"]),
+            proposals=[dict(p) for p in data["proposals"]],
+            objectives=[
+                INFEASIBLE if v is None else float(v) for v in data["objectives"]
+            ],
+            feasible=[bool(v) for v in data["feasible"]],
+            best_point=None if data.get("best_point") is None else dict(data["best_point"]),
+            best_objective=(
+                None if data.get("best_objective") is None else float(data["best_objective"])
+            ),
+            run_stats={k: int(v) for k, v in dict(data.get("run_stats", {})).items()},
+        )
+
+
+@dataclass
+class OptimizationResult:
+    """Everything one optimization run did, in replayable form."""
+
+    engine: str
+    iterations: "list[IterationRecord]"
+    best_point: "Point | None"
+    best_objective: "float | None"
+    best_metrics: "dict[str, float]"
+    best_feasible: bool
+    converged: bool
+    evaluations: int
+    #: configurations actually computed by the estimation engine (sum of
+    #: per-iteration ``executed``) — 0 on a fully warm replay
+    engine_runs: int
+    #: configurations served from the result cache (sum of ``cache_hits``)
+    cache_hits: int
+    space: "list[dict[str, Any]] | None"
+    objective: "dict[str, Any]"
+    duration_s: float = 0.0
+
+    # ---------------------------------------------------------------- views
+
+    def trajectory(self) -> "list[float | None]":
+        """Best-so-far objective after each iteration."""
+        return [record.best_objective for record in self.iterations]
+
+    def summary(self) -> "dict[str, Any]":
+        """Machine-independent replay digest (see ``--expect``).
+
+        Deterministic for a fixed study + seed: floats are rounded to six
+        decimals and the cost counters (cache temperature) and wall-clock
+        are deliberately absent.
+        """
+        return {
+            "engine": self.engine,
+            "iterations": len(self.iterations),
+            "evaluations": self.evaluations,
+            "converged": self.converged,
+            "feasible": self.best_feasible,
+            "best_point": (
+                None
+                if self.best_point is None
+                else {k: _round(v) for k, v in sorted(self.best_point.items())}
+            ),
+            "best_objective": _round(self.best_objective),
+            "trajectory": [_round(v) for v in self.trajectory()],
+        }
+
+    def render(self) -> str:
+        """Human-readable trajectory table."""
+        lines = [
+            f"=== optimization: engine={self.engine} "
+            f"converged={self.converged} feasible={self.best_feasible} ===",
+            f"{'iter':>4}  {'evals':>5}  {'best objective':>16}  {'engine runs':>11}  {'cache hits':>10}",
+        ]
+        for record in self.iterations:
+            best = record.best_objective
+            lines.append(
+                f"{record.index:>4}  {len(record.proposals):>5}  "
+                f"{'-' if best is None else format(best, '>16.6f'):>16}  "
+                f"{record.run_stats.get('executed', 0):>11}  "
+                f"{record.run_stats.get('cache_hits', 0):>10}"
+            )
+        best_point = (
+            "n/a"
+            if self.best_point is None
+            else ", ".join(f"{k}={v:.6g}" for k, v in sorted(self.best_point.items()))
+        )
+        lines.append(f"best point: {best_point}")
+        if self.best_objective is not None:
+            lines.append(f"best objective: {self.best_objective:.6f}")
+        lines.append(
+            f"totals: {self.evaluations} evaluations, {self.engine_runs} engine runs, "
+            f"{self.cache_hits} cache hits, {self.duration_s:.3f}s"
+        )
+        return "\n".join(lines)
+
+    # ----------------------------------------------------------------- wire
+
+    def as_dict(self) -> "dict[str, Any]":
+        return {
+            "format": RESULT_FORMAT,
+            "engine": self.engine,
+            "iterations": [record.as_dict() for record in self.iterations],
+            "best_point": None if self.best_point is None else dict(self.best_point),
+            "best_objective": _encode_objective(self.best_objective),
+            "best_metrics": dict(self.best_metrics),
+            "best_feasible": self.best_feasible,
+            "converged": self.converged,
+            "evaluations": self.evaluations,
+            "engine_runs": self.engine_runs,
+            "cache_hits": self.cache_hits,
+            "space": self.space,
+            "objective": dict(self.objective),
+            "duration_s": self.duration_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: "Mapping[str, Any]") -> "OptimizationResult":
+        if data.get("format") != RESULT_FORMAT:
+            raise OptimizationError(
+                f"not an optimization result (format {data.get('format')!r}, "
+                f"expected {RESULT_FORMAT!r})"
+            )
+        return cls(
+            engine=str(data["engine"]),
+            iterations=[IterationRecord.from_dict(r) for r in data["iterations"]],
+            best_point=None if data.get("best_point") is None else dict(data["best_point"]),
+            best_objective=(
+                None if data.get("best_objective") is None else float(data["best_objective"])
+            ),
+            best_metrics={k: float(v) for k, v in dict(data.get("best_metrics", {})).items()},
+            best_feasible=bool(data["best_feasible"]),
+            converged=bool(data["converged"]),
+            evaluations=int(data["evaluations"]),
+            engine_runs=int(data["engine_runs"]),
+            cache_hits=int(data["cache_hits"]),
+            space=None if data.get("space") is None else [dict(d) for d in data["space"]],
+            objective=dict(data.get("objective", {})),
+            duration_s=float(data.get("duration_s", 0.0)),
+        )
+
+    def save_json(self, path: "str | Path") -> Path:
+        target = Path(path)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(json.dumps(self.as_dict(), indent=2, sort_keys=True))
+        return target
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "OptimizationResult":
+        source = Path(path)
+        try:
+            payload = json.loads(source.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            raise OptimizationError(f"cannot read optimization result {source}: {exc}") from exc
+        return cls.from_dict(payload)

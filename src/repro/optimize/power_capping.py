@@ -5,6 +5,11 @@ mechanisms (frequency scaling, hard caps) cost performance.  The paper's
 observation offers an orthogonal lever: prune (sparsify) the input data
 until the predicted power fits under the cap, trading a bounded amount of
 approximation error for watts instead of latency.
+
+The sparsity search itself is a monotone threshold question, so it runs
+on :class:`repro.optimize.engines.BisectionEngine` (which replaced the
+ad-hoc bisection loop that used to live here — same probe sequence, same
+bracket updates, bit-for-bit identical plans).
 """
 
 from __future__ import annotations
@@ -14,6 +19,9 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import OptimizationError
+from repro.optimize.engines.base import Evaluation
+from repro.optimize.engines.bisection import BisectionEngine
+from repro.optimize.engines.space import Dimension, ParameterSpace
 from repro.optimize.estimation import QuickEstimate, quick_power_estimate
 from repro.optimize.sparsity_design import magnitude_prune
 
@@ -53,6 +61,12 @@ def find_sparsity_for_cap(
     Power decreases monotonically with sparsity for unsorted inputs (T12),
     so bisection converges; if even ``max_sparsity`` cannot meet the cap the
     plan is marked infeasible and carries the best (most sparse) attempt.
+
+    The search is a :class:`~repro.optimize.engines.BisectionEngine` with
+    ``direction="decreasing"`` and ``target=power_cap_watts``: sparsity 0
+    first (the unpruned baseline), ``max_sparsity`` second, then midpoints
+    until the bracket is within ``tolerance`` or ``max_iterations``
+    midpoints have been probed.
     """
     if power_cap_watts <= 0:
         raise OptimizationError(f"power cap must be positive, got {power_cap_watts}")
@@ -63,53 +77,51 @@ def find_sparsity_for_cap(
 
     baseline = quick_power_estimate(activations, weights, dtype=dtype, gpu=gpu)
 
-    def evaluate(sparsity: float) -> tuple[QuickEstimate, np.ndarray]:
-        mask = magnitude_prune(weights, sparsity)
-        pruned = np.where(mask, weights, 0.0)
-        return quick_power_estimate(activations, pruned, dtype=dtype, gpu=gpu), pruned
+    evaluated: "dict[float, tuple[QuickEstimate, np.ndarray]]" = {}
 
-    if baseline.power_watts <= power_cap_watts:
-        return CapPlan(
-            power_cap_watts=power_cap_watts,
-            sparsity=0.0,
-            feasible=True,
-            baseline=baseline,
-            capped=baseline,
-            relative_error=0.0,
-            pruned_weights=weights.copy(),
+    def evaluate(sparsity: float) -> "tuple[QuickEstimate, np.ndarray]":
+        if sparsity not in evaluated:
+            if sparsity == 0.0:
+                # Unpruned: reuse the baseline estimate (pruning at 0 is a
+                # no-op on the values, so this is exact, not a shortcut).
+                evaluated[sparsity] = (baseline, weights.copy())
+            else:
+                mask = magnitude_prune(weights, sparsity)
+                pruned = np.where(mask, weights, 0.0)
+                estimate = quick_power_estimate(activations, pruned, dtype=dtype, gpu=gpu)
+                evaluated[sparsity] = (estimate, pruned)
+        return evaluated[sparsity]
+
+    space = ParameterSpace([Dimension(name="sparsity", low=0.0, high=max_sparsity)])
+    engine = BisectionEngine(
+        space,
+        target=power_cap_watts,
+        direction="decreasing",
+        tolerance=tolerance,
+        max_iterations=max_iterations,
+    )
+    while not engine.is_converged:
+        (point,) = engine.propose()
+        estimate, _ = evaluate(point["sparsity"])
+        engine.ingest(
+            [
+                Evaluation(
+                    point=point,
+                    objective=estimate.power_watts,
+                    metrics={"power_watts": estimate.power_watts},
+                )
+            ]
         )
 
-    max_estimate, max_pruned = evaluate(max_sparsity)
-    if max_estimate.power_watts > power_cap_watts:
-        denom = float(np.linalg.norm(weights)) or 1.0
-        return CapPlan(
-            power_cap_watts=power_cap_watts,
-            sparsity=max_sparsity,
-            feasible=False,
-            baseline=baseline,
-            capped=max_estimate,
-            relative_error=float(np.linalg.norm(max_pruned - weights)) / denom,
-            pruned_weights=max_pruned,
-        )
-
-    low, high = 0.0, max_sparsity
-    best_estimate, best_pruned, best_sparsity = max_estimate, max_pruned, max_sparsity
-    for _ in range(max_iterations):
-        mid = 0.5 * (low + high)
-        estimate, pruned = evaluate(mid)
-        if estimate.power_watts <= power_cap_watts:
-            best_estimate, best_pruned, best_sparsity = estimate, pruned, mid
-            high = mid
-        else:
-            low = mid
-        if high - low <= tolerance:
-            break
-
+    best = engine.best
+    assert best is not None  # near/far phases always record an evaluation
+    best_sparsity = float(best.point["sparsity"])
+    best_estimate, best_pruned = evaluated[best_sparsity]
     denom = float(np.linalg.norm(weights)) or 1.0
     return CapPlan(
         power_cap_watts=power_cap_watts,
-        sparsity=float(best_sparsity),
-        feasible=True,
+        sparsity=best_sparsity,
+        feasible=engine.feasible,
         baseline=baseline,
         capped=best_estimate,
         relative_error=float(np.linalg.norm(best_pruned - weights)) / denom,

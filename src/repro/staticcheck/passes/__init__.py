@@ -17,11 +17,14 @@ side effect.  One module per rule:
                           ``repro.api`` façade stay mutually consistent
 ``no-silent-swallow``     broad ``except`` handlers must re-raise, return,
                           use the bound exception, or log — never swallow
+``engine-registry``       every registered optimization engine is imported
+                          by the engines package, exported, and documented
 ========================  ====================================================
 """
 
 from repro.staticcheck.passes import (  # noqa: F401  (imported for registration)
     blocking,
+    engines,
     envvars,
     exports,
     locks,
@@ -29,4 +32,4 @@ from repro.staticcheck.passes import (  # noqa: F401  (imported for registration
     swallow,
 )
 
-__all__ = ["purity", "blocking", "locks", "envvars", "exports", "swallow"]
+__all__ = ["purity", "blocking", "locks", "envvars", "exports", "swallow", "engines"]

@@ -1,0 +1,189 @@
+"""``engine-registry``: registered optimization engines stay consistent.
+
+The engine registry in :mod:`repro.optimize.engines` is populated by
+``@register_engine("name")`` decorators as the engine modules import.
+Nothing at runtime ties the registry to the package exports or the
+documentation until an unlucky ``get_engine("...")`` fails in user code
+— or worse, silently works locally because some other import happened to
+load the module.  This pass checks, statically:
+
+* every ``@register_engine`` name is registered exactly once;
+* every engine's defining module is imported by the engines package
+  ``__init__`` (so registration reliably fires on package import);
+* every engine class is exported from the engines package ``__all__``;
+* every registered engine *name* is documented in ``docs/optimize.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.staticcheck.loader import Codebase, ModuleInfo
+from repro.staticcheck.model import Finding
+from repro.staticcheck.registry import register_pass
+
+__all__ = ["ENGINES_PACKAGE", "ENGINES_DOC", "check_engine_registry"]
+
+#: The package whose modules register engines and whose ``__init__`` must
+#: import them all.
+ENGINES_PACKAGE = "repro.optimize.engines"
+
+#: Documentation page that must name every registered engine.
+ENGINES_DOC = "docs/optimize.md"
+
+
+def _decorator_engine_name(node: ast.expr) -> "str | None":
+    """The literal name in ``@register_engine("name")``, if this is one."""
+    if not isinstance(node, ast.Call):
+        return None
+    func = node.func
+    called = None
+    if isinstance(func, ast.Name):
+        called = func.id
+    elif isinstance(func, ast.Attribute):
+        called = func.attr
+    if called != "register_engine":
+        return None
+    if node.args and isinstance(node.args[0], ast.Constant):
+        value = node.args[0].value
+        if isinstance(value, str):
+            return value
+    return None
+
+
+def _registered_engines(info: ModuleInfo) -> "list[tuple[str, str, int]]":
+    """``(engine_name, class_name, line)`` for each decorated class."""
+    found = []
+    for node in ast.walk(info.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for decorator in node.decorator_list:
+            name = _decorator_engine_name(decorator)
+            if name is not None:
+                found.append((name, node.name, node.lineno))
+    return found
+
+
+def _package_imports(info: ModuleInfo) -> "set[str]":
+    """Module names the package ``__init__`` imports (absolute + relative)."""
+    imported: "set[str]" = set()
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None:
+                continue
+            source = node.module
+            if node.level:
+                source = f"{ENGINES_PACKAGE}.{source}" if source else ENGINES_PACKAGE
+            imported.add(source)
+            for alias in node.names:
+                imported.add(f"{source}.{alias.name}")
+    return imported
+
+
+def _exported_names(info: ModuleInfo) -> "set[str] | None":
+    """Static ``__all__`` entries, or None when the module has none."""
+    for node in info.tree.body:
+        if not isinstance(node, ast.Assign):
+            continue
+        if not any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets):
+            continue
+        if not isinstance(node.value, (ast.List, ast.Tuple)):
+            return None
+        names: "set[str]" = set()
+        for element in node.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(element.value, str):
+                names.add(element.value)
+        return names
+    return None
+
+
+@register_pass(
+    "engine-registry",
+    "every registered optimization engine is imported by the engines "
+    "package, exported from it, and documented",
+)
+def check_engine_registry(codebase: Codebase) -> "list[Finding]":
+    findings: "list[Finding]" = []
+    engines: "list[tuple[str, str, ModuleInfo, int]]" = []
+    for info in codebase.iter_modules(ENGINES_PACKAGE):
+        for engine_name, class_name, line in _registered_engines(info):
+            engines.append((engine_name, class_name, info, line))
+    if not engines:
+        return []
+
+    seen: "dict[str, str]" = {}
+    for engine_name, class_name, info, line in engines:
+        if engine_name in seen:
+            findings.append(
+                Finding(
+                    rule="engine-registry",
+                    file=info.relpath,
+                    line=line,
+                    message=(
+                        f"engine name {engine_name!r} is registered more than "
+                        f"once (also by {seen[engine_name]})"
+                    ),
+                    detail=f"{info.name}:duplicate:{engine_name}",
+                    hint="pick a unique registry name per engine class",
+                )
+            )
+        else:
+            seen[engine_name] = f"{info.name}.{class_name}"
+
+    package = codebase.module(ENGINES_PACKAGE)
+    package_imports = _package_imports(package) if package is not None else set()
+    package_exports = _exported_names(package) if package is not None else None
+    doc_path = codebase.root / ENGINES_DOC
+    doc_text = doc_path.read_text(encoding="utf-8") if doc_path.is_file() else None
+
+    for engine_name, class_name, info, line in engines:
+        if package is not None and info.name != ENGINES_PACKAGE:
+            if info.name not in package_imports:
+                findings.append(
+                    Finding(
+                        rule="engine-registry",
+                        file=package.relpath,
+                        line=1,
+                        message=(
+                            f"{ENGINES_PACKAGE} does not import {info.name}, so "
+                            f"engine {engine_name!r} may never register"
+                        ),
+                        detail=f"{ENGINES_PACKAGE}:unimported:{info.name}",
+                        hint=(
+                            "import the engine module in the package __init__ "
+                            "(registration is an import side effect)"
+                        ),
+                    )
+                )
+        if package_exports is not None and class_name not in package_exports:
+            findings.append(
+                Finding(
+                    rule="engine-registry",
+                    file=info.relpath,
+                    line=line,
+                    message=(
+                        f"engine class {class_name!r} ({engine_name!r}) is not "
+                        f"exported from {ENGINES_PACKAGE}.__all__"
+                    ),
+                    detail=f"{info.name}:unexported:{class_name}",
+                    hint="add the class to the engines package __all__",
+                )
+            )
+        if doc_text is not None and f"`{engine_name}`" not in doc_text:
+            findings.append(
+                Finding(
+                    rule="engine-registry",
+                    file=info.relpath,
+                    line=line,
+                    message=(
+                        f"engine {engine_name!r} is registered but not "
+                        f"documented in {ENGINES_DOC}"
+                    ),
+                    detail=f"{info.name}:undocumented:{engine_name}",
+                    hint=f"add the engine to the table in {ENGINES_DOC}",
+                )
+            )
+    return findings

@@ -494,6 +494,113 @@ class TestExportsPass:
         assert _run_rule(tmp_path, "api-drift") == []
 
 
+class TestEnginesPass:
+    """Mini engines packages with exactly one planted inconsistency each."""
+
+    def _engine_module(self, root, body):
+        _write(
+            root,
+            "src/repro/optimize/engines/grid.py",
+            "from repro.optimize.engines.base import register_engine\n\n\n" + body,
+        )
+
+    def _consistent_repo(self, root):
+        self._engine_module(
+            root,
+            '@register_engine("grid")\nclass GridEngine:\n    pass\n',
+        )
+        _write(
+            root,
+            "src/repro/optimize/engines/__init__.py",
+            """\
+            from repro.optimize.engines import grid
+
+            __all__ = ["GridEngine"]
+            """,
+        )
+        _write(root, "docs/optimize.md", "| `grid` | `GridEngine` | demo engine |\n")
+
+    def test_consistent_registry_is_clean(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        assert _run_rule(tmp_path, "engine-registry") == []
+
+    def test_tree_without_engines_is_clean(self, tmp_path):
+        _write(tmp_path, "src/repro/mod.py", "def thing():\n    return 1\n")
+        assert _run_rule(tmp_path, "engine-registry") == []
+
+    def test_duplicate_registration_flagged(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        self._engine_module(
+            tmp_path,
+            '@register_engine("grid")\nclass GridEngine:\n    pass\n\n\n'
+            '@register_engine("grid")\nclass OtherEngine:\n    pass\n',
+        )
+        _write(
+            tmp_path,
+            "src/repro/optimize/engines/__init__.py",
+            """\
+            from repro.optimize.engines import grid
+
+            __all__ = ["GridEngine", "OtherEngine"]
+            """,
+        )
+        findings = _run_rule(tmp_path, "engine-registry")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.rule == "engine-registry"
+        assert finding.file == "src/repro/optimize/engines/grid.py"
+        assert finding.line == 10  # the second class statement
+        assert finding.detail == "repro.optimize.engines.grid:duplicate:grid"
+
+    def test_unimported_engine_module_flagged(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        _write(
+            tmp_path,
+            "src/repro/optimize/engines/__init__.py",
+            '__all__ = ["GridEngine"]\n',
+        )
+        findings = _run_rule(tmp_path, "engine-registry")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.file == "src/repro/optimize/engines/__init__.py"
+        assert finding.line == 1
+        assert finding.detail == (
+            "repro.optimize.engines:unimported:repro.optimize.engines.grid"
+        )
+
+    def test_unexported_engine_class_flagged(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        _write(
+            tmp_path,
+            "src/repro/optimize/engines/__init__.py",
+            """\
+            from repro.optimize.engines import grid
+
+            __all__ = ["register_engine"]
+            """,
+        )
+        findings = _run_rule(tmp_path, "engine-registry")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.file == "src/repro/optimize/engines/grid.py"
+        assert finding.line == 5  # the class statement
+        assert finding.detail == "repro.optimize.engines.grid:unexported:GridEngine"
+
+    def test_undocumented_engine_name_flagged(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        _write(tmp_path, "docs/optimize.md", "no engine table here\n")
+        findings = _run_rule(tmp_path, "engine-registry")
+        assert len(findings) == 1
+        (finding,) = findings
+        assert finding.file == "src/repro/optimize/engines/grid.py"
+        assert finding.detail == "repro.optimize.engines.grid:undocumented:grid"
+
+    def test_missing_docs_page_tolerated(self, tmp_path):
+        self._consistent_repo(tmp_path)
+        (tmp_path / "docs" / "optimize.md").unlink()
+        assert _run_rule(tmp_path, "engine-registry") == []
+
+
 class TestSwallowPass:
     def test_silent_broad_handlers_flagged(self, tmp_path):
         _write(
@@ -707,6 +814,7 @@ class TestCleanRepo:
         assert report.rules == [
             "api-drift",
             "async-blocking",
+            "engine-registry",
             "env-registry",
             "fingerprint-purity",
             "lock-discipline",
